@@ -1,0 +1,25 @@
+"""Benchmark E5: naive cross-product semantics vs the optimized executor."""
+
+import pytest
+
+from repro.dsl import run_program
+from repro.evaluation.scalability import example_social_network, social_network_document
+from repro.optimizer import execute
+from repro.synthesis import SynthesisConfig, Synthesizer
+
+_PROGRAM = Synthesizer(SynthesisConfig.for_migration()).synthesize(example_social_network()).program
+_DOCUMENT = social_network_document(60)
+
+
+def test_naive_execution(benchmark):
+    rows = benchmark.pedantic(run_program, args=(_PROGRAM, _DOCUMENT), rounds=1, iterations=1)
+    assert rows
+
+
+def test_optimized_execution(benchmark):
+    rows = benchmark.pedantic(execute, args=(_PROGRAM, _DOCUMENT), rounds=1, iterations=1)
+    assert rows
+
+
+def test_naive_and_optimized_agree():
+    assert set(run_program(_PROGRAM, _DOCUMENT)) == set(execute(_PROGRAM, _DOCUMENT))

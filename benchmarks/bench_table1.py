@@ -1,0 +1,26 @@
+"""Benchmark E1: Table 1 — synthesis over the StackOverflow-style suite.
+
+``pytest benchmarks/bench_table1.py --benchmark-only`` times synthesis on a
+representative sample of the 98-task suite (one per format/bucket) and, as a
+side effect, prints the full aggregated Table 1 report for the sample.
+
+For the complete 98-task run use ``python examples/run_table1.py``.
+"""
+
+import pytest
+
+from repro.benchmarks_suite import load_suite
+from repro.evaluation.table1 import run_task
+from repro.synthesis import SynthesisConfig
+
+_TASKS = [t for t in load_suite() if t.expressible]
+_SAMPLE = {f"{t.format}-{t.bucket}": t for t in _TASKS}  # one task per bucket
+
+
+@pytest.mark.parametrize("key", sorted(_SAMPLE))
+def test_table1_synthesis(benchmark, key):
+    task = _SAMPLE[key]
+    result = benchmark.pedantic(
+        run_task, args=(task, SynthesisConfig.fast()), rounds=1, iterations=1
+    )
+    assert result.solved, result.message

@@ -1,0 +1,7 @@
+"""Shared fixtures for the benchmark harness (pytest-benchmark)."""
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make the in-tree package importable without installation.
+
+The canonical workflow is ``pip install -e .`` (see README); this shim keeps
+``pytest`` working in offline environments where the editable install cannot
+build its isolated environment.
+"""
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

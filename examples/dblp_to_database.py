@@ -1,0 +1,24 @@
+"""Migrate a (synthetic) DBLP document to a full relational database (Table 2 scenario).
+
+Run with ``python examples/dblp_to_database.py``.
+"""
+
+from repro.codegen import generate_sql_dump
+from repro.datasets import dblp
+from repro.migration import MigrationEngine
+
+bundle = dblp.dataset(scale=5)
+print(f"{bundle.name}: {bundle.num_tables} tables, {bundle.num_columns} columns")
+
+engine = MigrationEngine()
+result = engine.migrate(bundle.migration_spec(), bundle.generate(5))
+
+print(f"synthesis: {result.synthesis_time:.1f}s  execution: {result.execution_time:.2f}s")
+print("rows per table:")
+for table, count in result.per_table_rows.items():
+    print(f"  {table:22} {count}")
+print("foreign-key violations:", len(result.database.validate_foreign_keys()))
+
+sql = generate_sql_dump(result.database)
+print("\nSQL dump preview:")
+print("\n".join(sql.splitlines()[:12]))

@@ -1,0 +1,41 @@
+"""Shredding nested JSON orders into line items, then generating JavaScript.
+
+Run with ``python examples/json_orders.py``.
+"""
+
+from repro import json_to_hdt, synthesize
+from repro.codegen import count_program_loc, generate_javascript
+from repro.dsl import pretty_program
+from repro.optimizer import execute
+
+document = {
+    "orders": [
+        {
+            "order_id": "o-100",
+            "customer": "northwind",
+            "items": [
+                {"sku": "kb-01", "qty": 2, "price": 49.0},
+                {"sku": "ms-07", "qty": 1, "price": 25.5},
+            ],
+        },
+        {
+            "order_id": "o-101",
+            "customer": "acme",
+            "items": [{"sku": "mon-4k", "qty": 3, "price": 310.0}],
+        },
+    ]
+}
+rows = [
+    ("o-100", "kb-01", 2),
+    ("o-100", "ms-07", 1),
+    ("o-101", "mon-4k", 3),
+]
+
+tree = json_to_hdt(document)
+result = synthesize([(tree, rows)], name="orders")
+print(pretty_program(result.program))
+print("rows:", execute(result.program, tree))
+
+js = generate_javascript(result.program)
+print("JavaScript program:", count_program_loc(js), "LOC")
+print("\n".join(js.splitlines()[-20:-12]))

@@ -1,0 +1,34 @@
+"""Quickstart: synthesize a tree-to-table program from one small example.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import json_to_hdt, synthesize
+from repro.codegen import generate_python
+from repro.dsl import pretty_program
+from repro.optimizer import execute
+
+# 1. A small JSON document and the table we want out of it.
+document = {
+    "employees": [
+        {"name": "Ada Chen", "team": "storage", "level": 4},
+        {"name": "Brian Okafor", "team": "query", "level": 3},
+        {"name": "Carla Rossi", "team": "storage", "level": 5},
+    ]
+}
+desired_rows = [("Ada Chen", "storage"), ("Brian Okafor", "query"), ("Carla Rossi", "storage")]
+
+# 2. Synthesize the transformation program (programming-by-example).
+tree = json_to_hdt(document)
+result = synthesize([(tree, desired_rows)], name="quickstart")
+print("synthesized in", round(result.synthesis_time, 2), "seconds")
+print(pretty_program(result.program))
+
+# 3. Run it (on this or any larger document with the same shape).
+print("\nrows:")
+for row in execute(result.program, tree):
+    print(" ", row)
+
+# 4. Emit standalone code.
+print("\ngenerated Python program (first lines):")
+print("\n".join(generate_python(result.program).splitlines()[:5]))

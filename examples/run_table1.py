@@ -1,0 +1,12 @@
+"""Regenerate Table 1 (the 98-task StackOverflow evaluation).
+
+Run with ``python examples/run_table1.py [limit]`` — pass a limit to run a subset.
+"""
+
+import sys
+
+from repro.evaluation import run_table1
+
+limit = int(sys.argv[1]) if len(sys.argv) > 1 else None
+report = run_table1(limit=limit)
+print(report.render())

@@ -1,0 +1,11 @@
+"""Regenerate Table 2 (migration of the four datasets to full databases).
+
+Run with ``python examples/run_table2.py [scale]`` (default scale 6).
+"""
+
+import sys
+
+from repro.evaluation import run_table2
+
+scale = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+print(run_table2(scale=scale).render())

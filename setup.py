@@ -1,0 +1,17 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table is the canonical metadata; this setup.py
+exists so that the package can be installed in environments without the
+`wheel` package (legacy `pip install -e . --no-use-pep517`).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reproduction of Mitra (VLDB 2018): PBE migration of hierarchical data to relational tables",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

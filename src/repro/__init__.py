@@ -1,0 +1,74 @@
+"""repro — a reproduction of Mitra (VLDB 2018).
+
+Mitra is a programming-by-example system that migrates hierarchical documents
+(XML, JSON) to relational tables.  This package reimplements the full system in
+Python:
+
+* :mod:`repro.hdt` — hierarchical data trees and the XML/JSON plug-ins,
+* :mod:`repro.dsl` — the tree-to-table DSL, its semantics and cost model,
+* :mod:`repro.automata` — the DFA machinery behind column-extractor learning,
+* :mod:`repro.synthesis` — the synthesis core (Algorithms 1-4 of the paper),
+* :mod:`repro.optimizer` — cross-product-free execution of synthesized programs,
+* :mod:`repro.codegen` — Python / XSLT / JavaScript / SQL code generation,
+* :mod:`repro.relational` — the relational substrate (tables, schemas, keys),
+* :mod:`repro.migration` — whole-database migration with key generation,
+* :mod:`repro.benchmarks_suite` — the 98-task StackOverflow-style suite,
+* :mod:`repro.datasets` — synthetic DBLP / IMDB / MONDIAL / YELP generators,
+* :mod:`repro.evaluation` — harnesses regenerating Table 1, Table 2 and the
+  scalability experiment of the paper.
+
+Quickstart
+----------
+>>> from repro import xml_to_hdt, synthesize
+>>> tree = xml_to_hdt("<users><user><name>Ann</name><age>31</age></user></users>")
+>>> result = synthesize([(tree, [("Ann", 31)])])
+>>> result.success
+True
+"""
+
+from .hdt import (
+    HDT,
+    Node,
+    build_tree,
+    hdt_to_json,
+    hdt_to_json_string,
+    hdt_to_xml,
+    json_file_to_hdt,
+    json_to_hdt,
+    xml_file_to_hdt,
+    xml_to_hdt,
+)
+from .dsl import Program, pretty_program, run_program
+from .synthesis import (
+    SynthesisConfig,
+    SynthesisResult,
+    SynthesisTask,
+    Synthesizer,
+    ExamplePair,
+    synthesize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HDT",
+    "Node",
+    "build_tree",
+    "xml_to_hdt",
+    "xml_file_to_hdt",
+    "hdt_to_xml",
+    "json_to_hdt",
+    "json_file_to_hdt",
+    "hdt_to_json",
+    "hdt_to_json_string",
+    "Program",
+    "pretty_program",
+    "run_program",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "SynthesisTask",
+    "Synthesizer",
+    "ExamplePair",
+    "synthesize",
+    "__version__",
+]

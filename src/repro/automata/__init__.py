@@ -1,0 +1,5 @@
+"""Deterministic finite automata used by the column-extractor learner."""
+
+from .dfa import DFA, intersect_all
+
+__all__ = ["DFA", "intersect_all"]

@@ -1,0 +1,5 @@
+"""Benchmark task suites used by the evaluation harness."""
+
+from .stackoverflow import BenchmarkTask, load_suite, suite_summary
+
+__all__ = ["BenchmarkTask", "load_suite", "suite_summary"]

@@ -1,0 +1,26 @@
+"""Code generation back-ends: Python (executable), XSLT, JavaScript and SQL."""
+
+from .common import count_program_loc
+from .js_gen import generate_javascript
+from .python_gen import compile_loaders, compile_program, generate_python
+from .sql_gen import (
+    create_schema_statements,
+    create_table_statement,
+    generate_sql_dump,
+    insert_statements,
+)
+from .xslt_gen import column_to_xpath, generate_xslt
+
+__all__ = [
+    "count_program_loc",
+    "generate_javascript",
+    "compile_loaders",
+    "compile_program",
+    "generate_python",
+    "create_schema_statements",
+    "create_table_statement",
+    "generate_sql_dump",
+    "insert_statements",
+    "column_to_xpath",
+    "generate_xslt",
+]

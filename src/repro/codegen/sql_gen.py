@@ -1,0 +1,86 @@
+"""SQL generation: DDL from schemas and DML from migrated tables.
+
+The end product of the Table 2 experiment is a relational database.  This
+module renders a :class:`~repro.relational.schema.DatabaseSchema` as
+``CREATE TABLE`` statements (with primary- and foreign-key clauses) and a
+populated :class:`~repro.relational.database.Database` as ``INSERT``
+statements, so that the migrated data can be loaded into any SQL engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..hdt.node import Scalar
+from ..relational.database import Database
+from ..relational.schema import ColumnDef, DatabaseSchema, TableSchema
+from ..relational.table import Table
+
+_SQL_TYPES = {"text": "TEXT", "integer": "INTEGER", "real": "REAL"}
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an identifier for SQL (double quotes, escaped)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def render_value(value: Scalar) -> str:
+    """Render a scalar as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def create_table_statement(table: TableSchema) -> str:
+    """Render one CREATE TABLE statement with key constraints."""
+    lines: List[str] = []
+    for column in table.columns:
+        parts = [f"  {quote_identifier(column.name)} {_SQL_TYPES[column.dtype]}"]
+        if not column.nullable:
+            parts.append("NOT NULL")
+        lines.append(" ".join(parts))
+    if table.primary_key is not None:
+        lines.append(f"  PRIMARY KEY ({quote_identifier(table.primary_key)})")
+    for fk in table.foreign_keys:
+        lines.append(
+            f"  FOREIGN KEY ({quote_identifier(fk.column)}) REFERENCES "
+            f"{quote_identifier(fk.target_table)} ({quote_identifier(fk.target_column)})"
+        )
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {quote_identifier(table.name)} (\n{body}\n);"
+
+
+def create_schema_statements(schema: DatabaseSchema) -> List[str]:
+    """CREATE TABLE statements in dependency order."""
+    return [create_table_statement(table) for table in schema.topological_order()]
+
+
+def insert_statements(table: Table, *, batch_size: int = 500) -> List[str]:
+    """INSERT statements for a populated table (multi-row VALUES batches)."""
+    if not table.rows:
+        return []
+    column_list = ", ".join(quote_identifier(c) for c in table.columns)
+    statements: List[str] = []
+    for start in range(0, len(table.rows), batch_size):
+        batch = table.rows[start : start + batch_size]
+        values = ",\n  ".join(
+            "(" + ", ".join(render_value(v) for v in row) + ")" for row in batch
+        )
+        statements.append(
+            f"INSERT INTO {quote_identifier(table.name)} ({column_list}) VALUES\n  {values};"
+        )
+    return statements
+
+
+def generate_sql_dump(database: Database) -> str:
+    """A full SQL dump (DDL + DML) of a migrated database."""
+    parts: List[str] = ["BEGIN TRANSACTION;"]
+    parts.extend(create_schema_statements(database.schema))
+    for table_schema in database.schema.topological_order():
+        parts.extend(insert_statements(database.table(table_schema.name)))
+    parts.append("COMMIT;")
+    return "\n\n".join(parts) + "\n"

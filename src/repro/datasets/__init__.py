@@ -1,0 +1,19 @@
+"""Synthetic simulators of the paper's real-world datasets (Table 2)."""
+
+from typing import Dict
+
+from .base import DatasetBundle
+from . import dblp, imdb, mondial, yelp
+
+
+def all_datasets(scale: int = 10) -> Dict[str, DatasetBundle]:
+    """The four Table 2 dataset bundles, keyed by name."""
+    return {
+        "DBLP": dblp.dataset(scale=scale),
+        "IMDB": imdb.dataset(scale=scale),
+        "MONDIAL": mondial.dataset(scale=max(4, scale // 2)),
+        "YELP": yelp.dataset(scale=scale),
+    }
+
+
+__all__ = ["DatasetBundle", "all_datasets", "dblp", "imdb", "mondial", "yelp"]

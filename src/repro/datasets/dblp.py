@@ -1,0 +1,353 @@
+"""DBLP simulator (XML, 9 target tables).
+
+The real DBLP dump is a ~2 GB XML file of bibliographic records.  The
+simulator produces documents with the same shape — a flat sequence of
+``article`` / ``inproceedings`` / ``phdthesis`` / ``www`` records, each with
+nested metadata and a list of ``author`` elements — and a normalized 9-table
+target schema.
+
+DBLP records carry a natural key (the ``key`` element, e.g.
+``journals/a12``), so the target schema uses *natural* keys: primary and
+foreign keys are values extracted from the document, exactly as the footnote
+of Section 6 of the paper assumes for datasets that already contain keys.
+
+Records are generated deterministically from a seed, and the same records
+drive both the document and the expected relational tables, so example tables
+are consistent with the example document by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hdt.tree import HDT, build_tree
+from ..migration.engine import TableExampleSpec
+from ..relational.schema import ColumnDef, DatabaseSchema, ForeignKey, TableSchema
+from .base import DatasetBundle, Row, person_name, pick, rng, title_phrase, WORDS
+
+_JOURNALS = ["J. Alpha Systems", "Trans. Data Eng.", "VLDB Journal", "Inf. Systems"]
+_CONFERENCES = ["SIGMOD", "VLDB", "ICDE", "EDBT", "CIDR"]
+_SCHOOLS = ["UT Austin", "ETH Zurich", "MIT", "TU Munich"]
+
+
+# --------------------------------------------------------------------------- #
+# Records
+# --------------------------------------------------------------------------- #
+
+
+def make_records(scale: int, seed: int = 7) -> Dict[str, List[dict]]:
+    """Generate synthetic DBLP records.
+
+    ``scale`` roughly controls the number of publications: the document
+    contains ``2*scale`` articles, ``2*scale`` inproceedings, ``max(1, scale//2)``
+    PhD theses and ``max(1, scale//2)`` www records.
+    """
+    generator = rng(seed)
+    records: Dict[str, List[dict]] = {
+        "article": [],
+        "inproceedings": [],
+        "phdthesis": [],
+        "www": [],
+    }
+    for index in range(2 * scale):
+        records["article"].append(
+            {
+                "key": f"journals/a{index}",
+                "title": title_phrase(generator),
+                "year": 1995 + generator.randrange(28),
+                "journal": pick(generator, _JOURNALS),
+                "volume": 1 + generator.randrange(40),
+                "authors": [
+                    {"name": person_name(generator), "position": p + 1}
+                    for p in range(1 + generator.randrange(3))
+                ],
+            }
+        )
+    for index in range(2 * scale):
+        records["inproceedings"].append(
+            {
+                "key": f"conf/c{index}",
+                "title": title_phrase(generator),
+                "year": 1995 + generator.randrange(28),
+                "booktitle": pick(generator, _CONFERENCES),
+                "pages": f"{100 + index}-{110 + index}",
+                "authors": [
+                    {"name": person_name(generator), "position": p + 1}
+                    for p in range(1 + generator.randrange(3))
+                ],
+            }
+        )
+    for index in range(max(1, scale // 2)):
+        records["phdthesis"].append(
+            {
+                "key": f"phd/t{index}",
+                "title": title_phrase(generator, 4),
+                "year": 2000 + generator.randrange(23),
+                "school": pick(generator, _SCHOOLS),
+                "authors": [{"name": person_name(generator), "position": 1}],
+            }
+        )
+    for index in range(max(1, scale // 2)):
+        records["www"].append(
+            {
+                "key": f"www/w{index}",
+                "title": title_phrase(generator, 2),
+                "url": f"https://example.org/{pick(generator, WORDS)}/{index}",
+                "editor": person_name(generator),
+            }
+        )
+    return records
+
+
+def records_to_tree(records: Dict[str, List[dict]]) -> HDT:
+    """Materialize records as the DBLP-shaped hierarchical document."""
+    spec = {
+        "article": [
+            {
+                "key": r["key"],
+                "title": r["title"],
+                "year": r["year"],
+                "journal": r["journal"],
+                "volume": r["volume"],
+                "author": [
+                    {"name": a["name"], "position": a["position"]} for a in r["authors"]
+                ],
+            }
+            for r in records["article"]
+        ],
+        "inproceedings": [
+            {
+                "key": r["key"],
+                "title": r["title"],
+                "year": r["year"],
+                "booktitle": r["booktitle"],
+                "pages": r["pages"],
+                "author": [
+                    {"name": a["name"], "position": a["position"]} for a in r["authors"]
+                ],
+            }
+            for r in records["inproceedings"]
+        ],
+        "phdthesis": [
+            {
+                "key": r["key"],
+                "title": r["title"],
+                "year": r["year"],
+                "school": r["school"],
+                "author": [
+                    {"name": a["name"], "position": a["position"]} for a in r["authors"]
+                ],
+            }
+            for r in records["phdthesis"]
+        ],
+        "www": [
+            {"key": r["key"], "title": r["title"], "url": r["url"], "editor": r["editor"]}
+            for r in records["www"]
+        ],
+    }
+    return build_tree(spec, tag="dblp")
+
+
+# --------------------------------------------------------------------------- #
+# Schema
+# --------------------------------------------------------------------------- #
+
+
+def schema() -> DatabaseSchema:
+    """The 9-table normalized DBLP target schema (natural keys)."""
+
+    def link_table(name: str, parent: str) -> TableSchema:
+        return TableSchema(
+            name=name,
+            columns=[
+                ColumnDef(f"{parent}_key", "text", nullable=False),
+                ColumnDef("author_name", "text"),
+                ColumnDef("position", "integer"),
+            ],
+            foreign_keys=[ForeignKey(f"{parent}_key", parent, "key")],
+            natural_keys=True,
+        )
+
+    return DatabaseSchema(
+        name="dblp",
+        tables=[
+            TableSchema(
+                name="journal",
+                columns=[ColumnDef("name", "text", nullable=False)],
+                primary_key="name",
+                natural_keys=True,
+            ),
+            TableSchema(
+                name="article",
+                columns=[
+                    ColumnDef("key", "text", nullable=False),
+                    ColumnDef("title", "text"),
+                    ColumnDef("year", "integer"),
+                    ColumnDef("journal", "text"),
+                    ColumnDef("volume", "integer"),
+                ],
+                primary_key="key",
+                foreign_keys=[ForeignKey("journal", "journal", "name")],
+                natural_keys=True,
+            ),
+            TableSchema(
+                name="inproceedings",
+                columns=[
+                    ColumnDef("key", "text", nullable=False),
+                    ColumnDef("title", "text"),
+                    ColumnDef("year", "integer"),
+                    ColumnDef("booktitle", "text"),
+                    ColumnDef("pages", "text"),
+                ],
+                primary_key="key",
+                natural_keys=True,
+            ),
+            TableSchema(
+                name="phdthesis",
+                columns=[
+                    ColumnDef("key", "text", nullable=False),
+                    ColumnDef("title", "text"),
+                    ColumnDef("year", "integer"),
+                    ColumnDef("school", "text"),
+                ],
+                primary_key="key",
+                natural_keys=True,
+            ),
+            TableSchema(
+                name="www",
+                columns=[
+                    ColumnDef("key", "text", nullable=False),
+                    ColumnDef("title", "text"),
+                    ColumnDef("url", "text"),
+                    ColumnDef("editor", "text"),
+                ],
+                primary_key="key",
+                natural_keys=True,
+            ),
+            link_table("article_author", "article"),
+            link_table("inproceedings_author", "inproceedings"),
+            link_table("phdthesis_author", "phdthesis"),
+            TableSchema(
+                name="www_editor",
+                columns=[
+                    ColumnDef("www_key", "text", nullable=False),
+                    ColumnDef("editor_name", "text"),
+                ],
+                foreign_keys=[ForeignKey("www_key", "www", "key")],
+                natural_keys=True,
+            ),
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Expected tables / examples
+# --------------------------------------------------------------------------- #
+
+
+def records_to_tables(records: Dict[str, List[dict]]) -> Dict[str, List[Row]]:
+    """Ground-truth relational content for a set of records."""
+    tables: Dict[str, List[Row]] = {
+        "journal": [],
+        "article": [],
+        "inproceedings": [],
+        "phdthesis": [],
+        "www": [],
+        "article_author": [],
+        "inproceedings_author": [],
+        "phdthesis_author": [],
+        "www_editor": [],
+    }
+    journals: List[str] = []
+    for record in records["article"]:
+        if record["journal"] not in journals:
+            journals.append(record["journal"])
+        tables["article"].append(
+            (record["key"], record["title"], record["year"], record["journal"], record["volume"])
+        )
+        for author in record["authors"]:
+            tables["article_author"].append((record["key"], author["name"], author["position"]))
+    tables["journal"] = [(name,) for name in journals]
+    for record in records["inproceedings"]:
+        tables["inproceedings"].append(
+            (record["key"], record["title"], record["year"], record["booktitle"], record["pages"])
+        )
+        for author in record["authors"]:
+            tables["inproceedings_author"].append(
+                (record["key"], author["name"], author["position"])
+            )
+    for record in records["phdthesis"]:
+        tables["phdthesis"].append(
+            (record["key"], record["title"], record["year"], record["school"])
+        )
+        for author in record["authors"]:
+            tables["phdthesis_author"].append((record["key"], author["name"], author["position"]))
+    for record in records["www"]:
+        tables["www"].append((record["key"], record["title"], record["url"], record["editor"]))
+        tables["www_editor"].append((record["key"], record["editor"]))
+    return tables
+
+
+def ground_truth_counts(scale: int, seed: int = 7) -> Dict[str, int]:
+    """Expected row counts per table for a generated document."""
+    tables = records_to_tables(make_records(scale, seed))
+    return {name: len(rows) for name, rows in tables.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Bundle
+# --------------------------------------------------------------------------- #
+
+_EXAMPLE_SEED = 101
+
+
+def _example_records() -> Dict[str, List[dict]]:
+    """A small, hand-sized example document (a few records per kind)."""
+    generator = rng(_EXAMPLE_SEED)
+    records = make_records(4, _EXAMPLE_SEED)
+    records["article"] = records["article"][:2]
+    records["inproceedings"] = records["inproceedings"][:2]
+    records["phdthesis"] = records["phdthesis"][:2]
+    records["www"] = records["www"][:2]
+    # Distinct journals in the example keep the journal table's rows unique.
+    records["article"][0]["journal"] = "VLDB Journal"
+    records["article"][1]["journal"] = "Trans. Data Eng."
+    # Representative author lists: varying lengths (so that "first author only"
+    # programs are inconsistent with the example) and unique names (so that
+    # example rows can be matched unambiguously).
+    names = iter(
+        ["Ada Chen", "Brian Okafor", "Carla Rossi", "Dmitri Ivanov", "Elena Sato",
+         "Farid Haddad", "Grace Kim", "Hiro Nakamura", "Ines Weber", "Jonas Petrov"]
+    )
+    records["article"][0]["authors"] = [
+        {"name": next(names), "position": 1},
+        {"name": next(names), "position": 2},
+    ]
+    records["article"][1]["authors"] = [{"name": next(names), "position": 1}]
+    records["inproceedings"][0]["authors"] = [
+        {"name": next(names), "position": 1},
+        {"name": next(names), "position": 2},
+        {"name": next(names), "position": 3},
+    ]
+    records["inproceedings"][1]["authors"] = [{"name": next(names), "position": 1}]
+    records["phdthesis"][0]["authors"] = [{"name": next(names), "position": 1}]
+    records["phdthesis"][1]["authors"] = [{"name": next(names), "position": 1}]
+    return records
+
+
+def dataset(scale: int = 20, seed: int = 7) -> DatasetBundle:
+    """The DBLP dataset bundle used by examples, tests and benchmarks."""
+    example_records = _example_records()
+    example_tables = records_to_tables(example_records)
+    return DatasetBundle(
+        name="DBLP",
+        format="xml",
+        schema=schema(),
+        example_tree=records_to_tree(example_records),
+        table_examples=[
+            TableExampleSpec(table=name, rows=rows) for name, rows in example_tables.items()
+        ],
+        generate=lambda s=scale: records_to_tree(make_records(s, seed)),
+        ground_truth=lambda s=scale: ground_truth_counts(s, seed),
+        description="Synthetic bibliography shaped like the DBLP XML dump.",
+    )

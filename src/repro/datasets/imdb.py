@@ -1,0 +1,364 @@
+"""IMDB simulator (JSON, 9 target tables).
+
+The real IMDB dataset used by the paper is ~6 GB of JSON converted from the
+IMDb TSV dumps.  The simulator produces JSON-shaped documents with top-level
+``movies``, ``series``, ``people`` and ``studios`` collections and the
+normalized 9-table schema of the Table 2 experiment.  IMDb records carry
+natural identifiers (``tt.../nm...``-style ids), so the schema uses natural
+keys throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hdt.tree import HDT
+from ..hdt.json_plugin import json_to_hdt
+from ..migration.engine import TableExampleSpec
+from ..relational.schema import ColumnDef, DatabaseSchema, ForeignKey, TableSchema
+from .base import DatasetBundle, Row, person_name, pick, rng, title_phrase
+
+_GENRES = ["Drama", "Comedy", "Thriller", "Sci-Fi", "Documentary", "Action"]
+_STUDIOS = [
+    {"name": "Meridian Pictures", "city": "Los Angeles"},
+    {"name": "Northlight Films", "city": "Vancouver"},
+    {"name": "Harbor Street Studio", "city": "London"},
+    {"name": "Quartz Media", "city": "Berlin"},
+]
+_CHARACTERS = ["the detective", "the pilot", "the archivist", "the stranger",
+               "the engineer", "the narrator", "the captain", "the analyst"]
+
+
+def make_records(scale: int, seed: int = 11) -> Dict[str, List[dict]]:
+    """Generate synthetic IMDB records (roughly ``3*scale`` movies, ``scale`` series)."""
+    generator = rng(seed)
+    people = [
+        {"id": f"nm{i:05d}", "name": person_name(generator), "birth_year": 1940 + generator.randrange(60)}
+        for i in range(4 * scale + 6)
+    ]
+    movies = []
+    for index in range(3 * scale):
+        cast_size = 1 + generator.randrange(3)
+        director_count = 1 + generator.randrange(2)
+        movies.append(
+            {
+                "id": f"tt{index:06d}",
+                "title": title_phrase(generator),
+                "year": 1980 + generator.randrange(44),
+                "studio": pick(generator, _STUDIOS)["name"],
+                "genres": sorted({pick(generator, _GENRES) for _ in range(1 + generator.randrange(2))}),
+                "rating": {
+                    "score": round(4 + generator.random() * 6, 1),
+                    "votes": 100 + generator.randrange(100000),
+                },
+                "cast": [
+                    {"person": pick(generator, people)["id"], "character": pick(generator, _CHARACTERS)}
+                    for _ in range(cast_size)
+                ],
+                "directors": [
+                    {"person": pick(generator, people)["id"], "order": d + 1}
+                    for d in range(director_count)
+                ],
+            }
+        )
+    series = []
+    for index in range(max(1, scale)):
+        episode_count = 2 + generator.randrange(3)
+        series.append(
+            {
+                "id": f"sr{index:05d}",
+                "title": title_phrase(generator, 2),
+                "start_year": 1995 + generator.randrange(25),
+                "end_year": 2000 + generator.randrange(24),
+                "episodes": [
+                    {
+                        "id": f"ep{index:04d}x{e}",
+                        "title": title_phrase(generator, 2),
+                        "season": 1 + e // 3,
+                        "number": e + 1,
+                    }
+                    for e in range(episode_count)
+                ],
+            }
+        )
+    return {"movies": movies, "series": series, "people": people, "studios": list(_STUDIOS)}
+
+
+def records_to_tree(records: Dict[str, List[dict]]) -> HDT:
+    """Materialize records as the IMDB-shaped JSON document.
+
+    Identifier fields use distinct key names per entity kind (``movie_id``,
+    ``series_id``, ``person_id``, ``episode_id``), mirroring IMDb's
+    tconst/nconst/parentTconst naming.
+    """
+    return json_to_hdt(
+        {
+            "movies": [
+                {
+                    "movie_id": m["id"],
+                    "title": m["title"],
+                    "year": m["year"],
+                    "studio": m["studio"],
+                    "genres": m["genres"],
+                    "rating": m["rating"],
+                    "cast": m["cast"],
+                    "directors": [
+                        {"director": d["person"], "order": d["order"]} for d in m["directors"]
+                    ],
+                }
+                for m in records["movies"]
+            ],
+            "series": [
+                {
+                    "series_id": s["id"],
+                    "title": s["title"],
+                    "start_year": s["start_year"],
+                    "end_year": s["end_year"],
+                    "episodes": [
+                        {
+                            "episode_id": e["id"],
+                            "title": e["title"],
+                            "season": e["season"],
+                            "number": e["number"],
+                        }
+                        for e in s["episodes"]
+                    ],
+                }
+                for s in records["series"]
+            ],
+            "people": [
+                {"person_id": p["id"], "name": p["name"], "birth_year": p["birth_year"]}
+                for p in records["people"]
+            ],
+            "studios": records["studios"],
+        }
+    )
+
+
+def schema() -> DatabaseSchema:
+    """The 9-table normalized IMDB target schema (natural keys)."""
+    return DatabaseSchema(
+        name="imdb",
+        tables=[
+            TableSchema(
+                "studio",
+                [ColumnDef("name", "text", nullable=False), ColumnDef("city", "text")],
+                primary_key="name",
+                natural_keys=True,
+            ),
+            TableSchema(
+                "person",
+                [
+                    ColumnDef("person_id", "text", nullable=False),
+                    ColumnDef("name", "text"),
+                    ColumnDef("birth_year", "integer"),
+                ],
+                primary_key="person_id",
+                natural_keys=True,
+            ),
+            TableSchema(
+                "movie",
+                [
+                    ColumnDef("movie_id", "text", nullable=False),
+                    ColumnDef("title", "text"),
+                    ColumnDef("year", "integer"),
+                    ColumnDef("studio", "text"),
+                ],
+                primary_key="movie_id",
+                foreign_keys=[ForeignKey("studio", "studio", "name")],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "series",
+                [
+                    ColumnDef("series_id", "text", nullable=False),
+                    ColumnDef("title", "text"),
+                    ColumnDef("start_year", "integer"),
+                    ColumnDef("end_year", "integer"),
+                ],
+                primary_key="series_id",
+                natural_keys=True,
+            ),
+            TableSchema(
+                "episode",
+                [
+                    ColumnDef("episode_id", "text", nullable=False),
+                    ColumnDef("series_id", "text"),
+                    ColumnDef("title", "text"),
+                    ColumnDef("season", "integer"),
+                    ColumnDef("number", "integer"),
+                ],
+                primary_key="episode_id",
+                foreign_keys=[ForeignKey("series_id", "series", "series_id")],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "movie_cast",
+                [
+                    ColumnDef("movie_id", "text", nullable=False),
+                    ColumnDef("person_id", "text"),
+                    ColumnDef("character", "text"),
+                ],
+                foreign_keys=[
+                    ForeignKey("movie_id", "movie", "movie_id"),
+                    ForeignKey("person_id", "person", "person_id"),
+                ],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "movie_director",
+                [
+                    ColumnDef("movie_id", "text", nullable=False),
+                    ColumnDef("person_id", "text"),
+                    ColumnDef("credit_order", "integer"),
+                ],
+                foreign_keys=[
+                    ForeignKey("movie_id", "movie", "movie_id"),
+                    ForeignKey("person_id", "person", "person_id"),
+                ],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "rating",
+                [
+                    ColumnDef("movie_id", "text", nullable=False),
+                    ColumnDef("score", "real"),
+                    ColumnDef("votes", "integer"),
+                ],
+                foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "genre",
+                [
+                    ColumnDef("movie_id", "text", nullable=False),
+                    ColumnDef("name", "text"),
+                ],
+                foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+                natural_keys=True,
+            ),
+        ],
+    )
+
+
+def records_to_tables(records: Dict[str, List[dict]]) -> Dict[str, List[Row]]:
+    """Ground-truth relational content for a set of records."""
+    tables: Dict[str, List[Row]] = {
+        "studio": [(s["name"], s["city"]) for s in records["studios"]],
+        "person": [(p["id"], p["name"], p["birth_year"]) for p in records["people"]],
+        "movie": [],
+        "series": [],
+        "episode": [],
+        "movie_cast": [],
+        "movie_director": [],
+        "rating": [],
+        "genre": [],
+    }
+    for movie in records["movies"]:
+        tables["movie"].append((movie["id"], movie["title"], movie["year"], movie["studio"]))
+        tables["rating"].append((movie["id"], movie["rating"]["score"], movie["rating"]["votes"]))
+        for genre in movie["genres"]:
+            tables["genre"].append((movie["id"], genre))
+        for member in movie["cast"]:
+            tables["movie_cast"].append((movie["id"], member["person"], member["character"]))
+        for director in movie["directors"]:
+            tables["movie_director"].append((movie["id"], director["person"], director["order"]))
+    for show in records["series"]:
+        tables["series"].append((show["id"], show["title"], show["start_year"], show["end_year"]))
+        for episode in show["episodes"]:
+            tables["episode"].append(
+                (episode["id"], show["id"], episode["title"], episode["season"], episode["number"])
+            )
+    return tables
+
+
+def ground_truth_counts(scale: int, seed: int = 11) -> Dict[str, int]:
+    """Expected *distinct* row counts per table for a generated document."""
+    tables = records_to_tables(make_records(scale, seed))
+    return {name: len(set(rows)) for name, rows in tables.items()}
+
+
+_EXAMPLE_SEED = 202
+
+
+def _example_records() -> Dict[str, List[dict]]:
+    """A small example with two movies, two series, a handful of people."""
+    people = [
+        {"id": "nm00001", "name": "Ada Chen", "birth_year": 1961},
+        {"id": "nm00002", "name": "Brian Okafor", "birth_year": 1975},
+        {"id": "nm00003", "name": "Carla Rossi", "birth_year": 1983},
+        {"id": "nm00004", "name": "Dmitri Ivanov", "birth_year": 1958},
+    ]
+    movies = [
+        {
+            "id": "tt000001",
+            "title": "Harbor Of Glass",
+            "year": 1999,
+            "studio": "Meridian Pictures",
+            "genres": ["Drama", "Thriller"],
+            "rating": {"score": 7.4, "votes": 1843},
+            "cast": [
+                {"person": "nm00001", "character": "the detective"},
+                {"person": "nm00002", "character": "the pilot"},
+            ],
+            "directors": [{"person": "nm00004", "order": 1}],
+        },
+        {
+            "id": "tt000002",
+            "title": "Quartz Meadow",
+            "year": 2011,
+            "studio": "Northlight Films",
+            "genres": ["Comedy", "Drama"],
+            "rating": {"score": 6.1, "votes": 422},
+            "cast": [
+                {"person": "nm00003", "character": "the archivist"},
+                {"person": "nm00002", "character": "the stranger"},
+            ],
+            "directors": [
+                {"person": "nm00001", "order": 1},
+                {"person": "nm00002", "order": 2},
+            ],
+        },
+    ]
+    series = [
+        {
+            "id": "sr00001",
+            "title": "Cedar Station",
+            "start_year": 2005,
+            "end_year": 2009,
+            "episodes": [
+                {"id": "ep0001x0", "title": "Arrival", "season": 1, "number": 1},
+                {"id": "ep0001x1", "title": "Signals", "season": 1, "number": 2},
+            ],
+        },
+        {
+            "id": "sr00002",
+            "title": "Tundra Lines",
+            "start_year": 2014,
+            "end_year": 2016,
+            "episodes": [{"id": "ep0002x0", "title": "North", "season": 1, "number": 1}],
+        },
+    ]
+    studios = [
+        {"name": "Meridian Pictures", "city": "Los Angeles"},
+        {"name": "Northlight Films", "city": "Vancouver"},
+    ]
+    return {"movies": movies, "series": series, "people": people, "studios": studios}
+
+
+def dataset(scale: int = 15, seed: int = 11) -> DatasetBundle:
+    """The IMDB dataset bundle used by examples, tests and benchmarks."""
+    example_records = _example_records()
+    example_tables = records_to_tables(example_records)
+    return DatasetBundle(
+        name="IMDB",
+        format="json",
+        schema=schema(),
+        example_tree=records_to_tree(example_records),
+        table_examples=[
+            TableExampleSpec(table=name, rows=rows) for name, rows in example_tables.items()
+        ],
+        generate=lambda s=scale: records_to_tree(make_records(s, seed)),
+        ground_truth=lambda s=scale: ground_truth_counts(s, seed),
+        description="Synthetic movie catalogue shaped like the IMDB JSON export.",
+    )

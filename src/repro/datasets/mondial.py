@@ -1,0 +1,671 @@
+"""MONDIAL simulator (XML, 25 target tables).
+
+The real MONDIAL database is a 3.6 MB XML document of geographical facts.  The
+simulator produces a document whose countries nest provinces, cities,
+geographic features, demographic breakdowns and economic indicators, plus
+top-level continents and international organizations; the target schema has
+the same 25-table count as the paper's experiment.  Natural keys (country
+codes, feature names, organization abbreviations) are used throughout.
+
+The tables deliberately fall into a handful of repeated shapes (per-country
+attribute tables, per-country feature tables, nested coordinate tables), which
+mirrors the real MONDIAL schema's regularity and keeps the per-table examples
+uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hdt.tree import HDT, build_tree
+from ..migration.engine import TableExampleSpec
+from ..relational.schema import ColumnDef, DatabaseSchema, ForeignKey, TableSchema
+from .base import DatasetBundle, Row, pick, rng
+
+_CONTINENTS = [
+    {"name": "Europe", "area": 10_180_000},
+    {"name": "Asia", "area": 44_579_000},
+    {"name": "America", "area": 42_549_000},
+    {"name": "Africa", "area": 30_370_000},
+    {"name": "Oceania", "area": 8_526_000},
+]
+_LANGUAGES = ["Arvanic", "Belsian", "Corvish", "Dantean", "Ersian", "Fjellic"]
+_RELIGIONS = ["Solarian", "Lunarian", "Tidal", "Veridian"]
+_ETHNIC = ["Arvan", "Belsan", "Corv", "Dante", "Ers", "Fjell"]
+_CLIMATES = ["temperate", "arid", "tropical", "continental", "alpine"]
+_ORGS = [
+    {"abbrev": "UN-X", "name": "Union of Nations", "established": 1946},
+    {"abbrev": "TRC", "name": "Trade and Resource Council", "established": 1971},
+    {"abbrev": "GSA", "name": "Geographic Survey Alliance", "established": 1989},
+]
+
+
+def make_records(scale: int, seed: int = 17) -> Dict[str, List[dict]]:
+    """Generate synthetic MONDIAL records (``scale`` countries)."""
+    generator = rng(seed)
+    countries: List[dict] = []
+    for index in range(max(2, scale)):
+        code = f"C{index:03d}"
+        name = f"Country {code}"
+        provinces = []
+        for p in range(1 + generator.randrange(3)):
+            cities = []
+            for c in range(1 + generator.randrange(3)):
+                cities.append(
+                    {
+                        "name": f"{name} City {p}-{c}",
+                        "population": 10_000 + generator.randrange(5_000_000),
+                        "history": [
+                            {"year": 1990 + 10 * h, "value": 8_000 + generator.randrange(4_000_000)}
+                            for h in range(1 + generator.randrange(2))
+                        ],
+                        "airports": (
+                            [{"name": f"{name} Airport {p}-{c}", "iata": f"A{index:02d}{p}{c}"}]
+                            if generator.random() < 0.5
+                            else []
+                        ),
+                    }
+                )
+            provinces.append(
+                {
+                    "name": f"{name} Province {p}",
+                    "area": 1_000 + generator.randrange(200_000),
+                    "cities": cities,
+                }
+            )
+        country = {
+            "code": code,
+            "name": name,
+            "capital": provinces[0]["cities"][0]["name"],
+            "area": 10_000 + generator.randrange(2_000_000),
+            "population": 500_000 + generator.randrange(90_000_000),
+            "provinces": provinces,
+            "languages": [
+                {"name": lang, "percentage": round(5 + generator.random() * 60, 1)}
+                for lang in sorted({pick(generator, _LANGUAGES) for _ in range(2)})
+            ],
+            "religions": [
+                {"name": rel, "percentage": round(5 + generator.random() * 70, 1)}
+                for rel in sorted({pick(generator, _RELIGIONS) for _ in range(2)})
+            ],
+            "ethnicgroups": [
+                {"name": eth, "percentage": round(5 + generator.random() * 80, 1)}
+                for eth in sorted({pick(generator, _ETHNIC) for _ in range(2)})
+            ],
+            "borders": [
+                {"neighbor": f"C{(index + d) % max(2, scale):03d}", "length": 50 + generator.randrange(2_000)}
+                for d in range(1, 1 + generator.randrange(2) + 1)
+            ],
+            "economy": {
+                "gdp": 1_000 + generator.randrange(3_000_000),
+                "inflation": round(generator.random() * 12, 2),
+                "industry": round(10 + generator.random() * 60, 1),
+            },
+            "histpop": [
+                {"year": 1980 + 10 * h, "value": 400_000 + generator.randrange(80_000_000)}
+                for h in range(2)
+            ],
+            "lakes": [
+                {"name": f"Lake {code}-{i}", "area": 10 + generator.randrange(30_000)}
+                for i in range(generator.randrange(2))
+            ],
+            "rivers": [
+                {
+                    "name": f"River {code}-{i}",
+                    "length": 100 + generator.randrange(5_000),
+                    "source": {"longitude": round(generator.random() * 180, 2), "latitude": round(generator.random() * 90, 2)},
+                    "estuary": {"longitude": round(generator.random() * 180, 2), "latitude": round(generator.random() * 90, 2)},
+                }
+                for i in range(generator.randrange(2))
+            ],
+            "mountains": [
+                {"name": f"Mount {code}-{i}", "elevation": 500 + generator.randrange(8_000)}
+                for i in range(generator.randrange(2))
+            ],
+            "deserts": [
+                {"name": f"Desert {code}-{i}", "area": 100 + generator.randrange(900_000)}
+                for i in range(generator.randrange(2))
+            ],
+            "islands": [
+                {"name": f"Island {code}-{i}", "area": 5 + generator.randrange(100_000)}
+                for i in range(generator.randrange(2))
+            ],
+            "seas": [
+                {"name": f"Sea {code}-{i}", "depth": 100 + generator.randrange(10_000)}
+                for i in range(generator.randrange(2))
+            ],
+            "encompassed": [
+                {"continent": pick(generator, _CONTINENTS)["name"], "percentage": 100.0}
+            ],
+            "coasts": [],  # filled in below once the seas list is known
+            "climate": {"type": pick(generator, _CLIMATES), "rainfall": 100 + generator.randrange(3_000)},
+        }
+        # Coasts reference a sea that actually exists in the same country so
+        # that every ground-truth row is derivable from the document.
+        if country["seas"]:
+            country["coasts"] = [
+                {"sea_name": country["seas"][0]["name"], "length": 20 + generator.randrange(5_000)}
+            ]
+        countries.append(country)
+    organizations = [
+        {
+            "abbrev": org["abbrev"],
+            "name": org["name"],
+            "established": org["established"],
+            "members": [
+                {"country": c["code"], "type": "member" if i % 2 == 0 else "observer"}
+                for i, c in enumerate(countries)
+                if (org_index + i) % 3 != 0
+            ],
+        }
+        for org_index, org in enumerate(_ORGS)
+    ]
+    return {"continents": list(_CONTINENTS), "countries": countries, "organizations": organizations}
+
+
+def records_to_tree(records: Dict[str, List[dict]]) -> HDT:
+    """Materialize records as the MONDIAL-shaped XML document."""
+    spec = {
+        "continent": [{"name": c["name"], "area": c["area"]} for c in records["continents"]],
+        "country": [
+            {
+                "code": c["code"],
+                "name": c["name"],
+                "capital": c["capital"],
+                "area": c["area"],
+                "population": c["population"],
+                "province": [
+                    {
+                        "name": p["name"],
+                        "area": p["area"],
+                        "city": [
+                            {
+                                "name": city["name"],
+                                "population": city["population"],
+                                "citypop": [
+                                    {"year": h["year"], "value": h["value"]} for h in city["history"]
+                                ],
+                                "airport": [
+                                    {"name": a["name"], "iata": a["iata"]} for a in city["airports"]
+                                ],
+                            }
+                            for city in p["cities"]
+                        ],
+                    }
+                    for p in c["provinces"]
+                ],
+                "language": c["languages"],
+                "religion": c["religions"],
+                "ethnicgroup": c["ethnicgroups"],
+                "border": c["borders"],
+                "economy": {
+                    "gdp": c["economy"]["gdp"],
+                    "inflation": c["economy"]["inflation"],
+                    "industry": c["economy"]["industry"],
+                },
+                "histpop": c["histpop"],
+                "lake": c["lakes"],
+                "river": [
+                    {
+                        "name": r["name"],
+                        "length": r["length"],
+                        "source": r["source"],
+                        "estuary": r["estuary"],
+                    }
+                    for r in c["rivers"]
+                ],
+                "mountain": c["mountains"],
+                "desert": c["deserts"],
+                "island": c["islands"],
+                "sea": c["seas"],
+                "encompassed": c["encompassed"],
+                "coast": c["coasts"],
+                "climate": c["climate"],
+            }
+            for c in records["countries"]
+        ],
+        "organization": [
+            {
+                "abbrev": o["abbrev"],
+                "name": o["name"],
+                "established": o["established"],
+                "member": o["members"],
+            }
+            for o in records["organizations"]
+        ],
+    }
+    return build_tree(spec, tag="mondial")
+
+
+def _country_attribute_table(name: str, value_column: ColumnDef) -> TableSchema:
+    """A (country_code, name, <value>) table — the recurring MONDIAL shape."""
+    return TableSchema(
+        name,
+        [
+            ColumnDef("country_code", "text", nullable=False),
+            ColumnDef("name", "text"),
+            value_column,
+        ],
+        foreign_keys=[ForeignKey("country_code", "country", "code")],
+        natural_keys=True,
+    )
+
+
+def schema() -> DatabaseSchema:
+    """The 25-table MONDIAL target schema (natural keys)."""
+    tables: List[TableSchema] = [
+        TableSchema(
+            "continent",
+            [ColumnDef("name", "text", nullable=False), ColumnDef("area", "integer")],
+            primary_key="name",
+            natural_keys=True,
+        ),
+        TableSchema(
+            "country",
+            [
+                ColumnDef("code", "text", nullable=False),
+                ColumnDef("name", "text"),
+                ColumnDef("capital", "text"),
+                ColumnDef("area", "integer"),
+                ColumnDef("population", "integer"),
+            ],
+            primary_key="code",
+            natural_keys=True,
+        ),
+        TableSchema(
+            "province",
+            [
+                ColumnDef("name", "text", nullable=False),
+                ColumnDef("country_code", "text"),
+                ColumnDef("area", "integer"),
+            ],
+            primary_key="name",
+            foreign_keys=[ForeignKey("country_code", "country", "code")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "city",
+            [
+                ColumnDef("name", "text", nullable=False),
+                ColumnDef("province", "text"),
+                ColumnDef("population", "integer"),
+            ],
+            primary_key="name",
+            foreign_keys=[ForeignKey("province", "province", "name")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "city_population",
+            [
+                ColumnDef("city", "text", nullable=False),
+                ColumnDef("year", "integer"),
+                ColumnDef("value", "integer"),
+            ],
+            foreign_keys=[ForeignKey("city", "city", "name")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "airport",
+            [
+                ColumnDef("name", "text", nullable=False),
+                ColumnDef("city", "text"),
+                ColumnDef("iata", "text"),
+            ],
+            primary_key="name",
+            foreign_keys=[ForeignKey("city", "city", "name")],
+            natural_keys=True,
+        ),
+        _country_attribute_table("language", ColumnDef("percentage", "real")),
+        _country_attribute_table("religion", ColumnDef("percentage", "real")),
+        _country_attribute_table("ethnicgroup", ColumnDef("percentage", "real")),
+        TableSchema(
+            "border",
+            [
+                ColumnDef("country_code", "text", nullable=False),
+                ColumnDef("neighbor", "text"),
+                ColumnDef("length", "integer"),
+            ],
+            foreign_keys=[ForeignKey("country_code", "country", "code")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "economy",
+            [
+                ColumnDef("country_code", "text", nullable=False),
+                ColumnDef("gdp", "integer"),
+                ColumnDef("inflation", "real"),
+                ColumnDef("industry", "real"),
+            ],
+            foreign_keys=[ForeignKey("country_code", "country", "code")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "country_population",
+            [
+                ColumnDef("country_code", "text", nullable=False),
+                ColumnDef("year", "integer"),
+                ColumnDef("value", "integer"),
+            ],
+            foreign_keys=[ForeignKey("country_code", "country", "code")],
+            natural_keys=True,
+        ),
+        _country_attribute_table("lake", ColumnDef("area", "integer")),
+        _country_attribute_table("river", ColumnDef("length", "integer")),
+        _country_attribute_table("mountain", ColumnDef("elevation", "integer")),
+        _country_attribute_table("desert", ColumnDef("area", "integer")),
+        _country_attribute_table("island", ColumnDef("area", "integer")),
+        _country_attribute_table("sea", ColumnDef("depth", "integer")),
+        TableSchema(
+            "river_source",
+            [
+                ColumnDef("river", "text", nullable=False),
+                ColumnDef("longitude", "real"),
+                ColumnDef("latitude", "real"),
+            ],
+            foreign_keys=[ForeignKey("river", "river", "name")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "river_estuary",
+            [
+                ColumnDef("river", "text", nullable=False),
+                ColumnDef("longitude", "real"),
+                ColumnDef("latitude", "real"),
+            ],
+            foreign_keys=[ForeignKey("river", "river", "name")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "encompasses",
+            [
+                ColumnDef("country_code", "text", nullable=False),
+                ColumnDef("continent", "text"),
+                ColumnDef("percentage", "real"),
+            ],
+            foreign_keys=[
+                ForeignKey("country_code", "country", "code"),
+                ForeignKey("continent", "continent", "name"),
+            ],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "coast",
+            [
+                ColumnDef("country_code", "text", nullable=False),
+                ColumnDef("sea_name", "text"),
+                ColumnDef("length", "integer"),
+            ],
+            foreign_keys=[ForeignKey("country_code", "country", "code")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "climate",
+            [
+                ColumnDef("country_code", "text", nullable=False),
+                ColumnDef("type", "text"),
+                ColumnDef("rainfall", "integer"),
+            ],
+            foreign_keys=[ForeignKey("country_code", "country", "code")],
+            natural_keys=True,
+        ),
+        TableSchema(
+            "organization",
+            [
+                ColumnDef("abbrev", "text", nullable=False),
+                ColumnDef("name", "text"),
+                ColumnDef("established", "integer"),
+            ],
+            primary_key="abbrev",
+            natural_keys=True,
+        ),
+        TableSchema(
+            "membership",
+            [
+                ColumnDef("organization", "text", nullable=False),
+                ColumnDef("country_code", "text"),
+                ColumnDef("type", "text"),
+            ],
+            foreign_keys=[
+                ForeignKey("organization", "organization", "abbrev"),
+                ForeignKey("country_code", "country", "code"),
+            ],
+            natural_keys=True,
+        ),
+    ]
+    # The river table needs a primary key for river_source/river_estuary references.
+    for table in tables:
+        if table.name == "river":
+            table.primary_key = "name"
+    return DatabaseSchema(name="mondial", tables=tables)
+
+
+def records_to_tables(records: Dict[str, List[dict]]) -> Dict[str, List[Row]]:
+    """Ground-truth relational content for a set of records."""
+    tables: Dict[str, List[Row]] = {name: [] for name in (
+        "continent", "country", "province", "city", "city_population", "airport",
+        "language", "religion", "ethnicgroup", "border", "economy",
+        "country_population", "lake", "river", "mountain", "desert", "island",
+        "sea", "river_source", "river_estuary", "encompasses", "coast", "climate",
+        "organization", "membership",
+    )}
+    tables["continent"] = [(c["name"], c["area"]) for c in records["continents"]]
+    for country in records["countries"]:
+        code = country["code"]
+        tables["country"].append(
+            (code, country["name"], country["capital"], country["area"], country["population"])
+        )
+        for province in country["provinces"]:
+            tables["province"].append((province["name"], code, province["area"]))
+            for city in province["cities"]:
+                tables["city"].append((city["name"], province["name"], city["population"]))
+                for entry in city["history"]:
+                    tables["city_population"].append((city["name"], entry["year"], entry["value"]))
+                for airport in city["airports"]:
+                    tables["airport"].append((airport["name"], city["name"], airport["iata"]))
+        for kind, table in (("languages", "language"), ("religions", "religion"), ("ethnicgroups", "ethnicgroup")):
+            for entry in country[kind]:
+                tables[table].append((code, entry["name"], entry["percentage"]))
+        for border in country["borders"]:
+            tables["border"].append((code, border["neighbor"], border["length"]))
+        economy = country["economy"]
+        tables["economy"].append((code, economy["gdp"], economy["inflation"], economy["industry"]))
+        for entry in country["histpop"]:
+            tables["country_population"].append((code, entry["year"], entry["value"]))
+        for kind, table, metric in (
+            ("lakes", "lake", "area"),
+            ("rivers", "river", "length"),
+            ("mountains", "mountain", "elevation"),
+            ("deserts", "desert", "area"),
+            ("islands", "island", "area"),
+            ("seas", "sea", "depth"),
+        ):
+            for entry in country[kind]:
+                tables[table].append((code, entry["name"], entry[metric]))
+        for river in country["rivers"]:
+            tables["river_source"].append(
+                (river["name"], river["source"]["longitude"], river["source"]["latitude"])
+            )
+            tables["river_estuary"].append(
+                (river["name"], river["estuary"]["longitude"], river["estuary"]["latitude"])
+            )
+        for entry in country["encompassed"]:
+            tables["encompasses"].append((code, entry["continent"], entry["percentage"]))
+        for entry in country["coasts"]:
+            tables["coast"].append((code, entry["sea_name"], entry["length"]))
+        climate = country["climate"]
+        tables["climate"].append((code, climate["type"], climate["rainfall"]))
+    for organization in records["organizations"]:
+        tables["organization"].append(
+            (organization["abbrev"], organization["name"], organization["established"])
+        )
+        for member in organization["members"]:
+            tables["membership"].append(
+                (organization["abbrev"], member["country"], member["type"])
+            )
+    return tables
+
+
+def ground_truth_counts(scale: int, seed: int = 17) -> Dict[str, int]:
+    """Expected *distinct* row counts per table for a generated document."""
+    tables = records_to_tables(make_records(scale, seed))
+    return {name: len(set(rows)) for name, rows in tables.items()}
+
+
+def _example_records() -> Dict[str, List[dict]]:
+    """A compact two-country example exercising every one of the 25 tables."""
+    continents = [
+        {"name": "Europe", "area": 10_180_000},
+        {"name": "Asia", "area": 44_579_000},
+        # A continent no example country references: programs that read
+        # continent names off the countries' "encompassed" links cannot cover
+        # this row, which forces the learner onto the continent elements.
+        {"name": "Oceania", "area": 8_526_000},
+    ]
+    countries = [
+        {
+            "code": "AA",
+            "name": "Arvania",
+            "capital": "Arvania City 0-0",
+            "area": 240_000,
+            "population": 8_200_000,
+            "provinces": [
+                {
+                    "name": "Arvania Province 0",
+                    "area": 52_000,
+                    "cities": [
+                        {
+                            "name": "Arvania City 0-0",
+                            "population": 1_400_000,
+                            "history": [{"year": 1990, "value": 1_100_000}, {"year": 2000, "value": 1_250_000}],
+                            "airports": [{"name": "Arvania Airport 0-0", "iata": "AA00"}],
+                        },
+                        {
+                            "name": "Arvania City 0-1",
+                            "population": 320_000,
+                            "history": [{"year": 2010, "value": 300_000}],
+                            "airports": [],
+                        },
+                    ],
+                },
+                {
+                    "name": "Arvania Province 1",
+                    "area": 18_000,
+                    "cities": [
+                        {
+                            "name": "Arvania City 1-0",
+                            "population": 95_000,
+                            "history": [{"year": 1980, "value": 70_000}],
+                            "airports": [{"name": "Arvania Airport 1-0", "iata": "AA10"}],
+                        }
+                    ],
+                },
+            ],
+            "languages": [
+                {"name": "Arvanic", "percentage": 78.5},
+                {"name": "Belsian", "percentage": 12.0},
+            ],
+            "religions": [{"name": "Solarian", "percentage": 61.0}, {"name": "Tidal", "percentage": 22.5}],
+            "ethnicgroups": [{"name": "Arvan", "percentage": 81.0}, {"name": "Bels", "percentage": 11.5}],
+            "borders": [{"neighbor": "BB", "length": 412}, {"neighbor": "CC", "length": 88}],
+            "economy": {"gdp": 310_000, "inflation": 2.4, "industry": 31.5},
+            "histpop": [{"year": 1980, "value": 7_100_000}, {"year": 2000, "value": 7_900_000}],
+            "lakes": [{"name": "Lake AA-0", "area": 356}],
+            "rivers": [
+                {
+                    "name": "River AA-0",
+                    "length": 1_230,
+                    "source": {"longitude": 14.2, "latitude": 47.1},
+                    "estuary": {"longitude": 18.9, "latitude": 44.3},
+                }
+            ],
+            "mountains": [{"name": "Mount AA-0", "elevation": 2_912}],
+            "deserts": [{"name": "Desert AA-0", "area": 5_200}],
+            "islands": [{"name": "Island AA-0", "area": 412}],
+            "seas": [{"name": "Sea AA-0", "depth": 3_800}],
+            "encompassed": [{"continent": "Europe", "percentage": 100.0}],
+            "coasts": [{"sea_name": "Sea AA-0", "length": 840}],
+            "climate": {"type": "temperate", "rainfall": 720},
+        },
+        {
+            "code": "BB",
+            "name": "Belsia",
+            "capital": "Belsia City 0-0",
+            "area": 1_120_000,
+            "population": 44_000_000,
+            "provinces": [
+                {
+                    "name": "Belsia Province 0",
+                    "area": 230_000,
+                    "cities": [
+                        {
+                            "name": "Belsia City 0-0",
+                            "population": 6_100_000,
+                            "history": [{"year": 2000, "value": 5_400_000}],
+                            "airports": [{"name": "Belsia Airport 0-0", "iata": "BB00"}],
+                        }
+                    ],
+                }
+            ],
+            "languages": [{"name": "Belsian", "percentage": 90.5}],
+            "religions": [
+                {"name": "Lunarian", "percentage": 48.0},
+                {"name": "Solarian", "percentage": 30.5},
+            ],
+            "ethnicgroups": [{"name": "Bels", "percentage": 70.0}],
+            "borders": [{"neighbor": "AA", "length": 412}],
+            "economy": {"gdp": 1_870_000, "inflation": 5.1, "industry": 42.0},
+            "histpop": [{"year": 1990, "value": 39_000_000}],
+            "lakes": [{"name": "Lake BB-0", "area": 1_040}],
+            "rivers": [
+                {
+                    "name": "River BB-0",
+                    "length": 2_910,
+                    "source": {"longitude": 71.3, "latitude": 33.8},
+                    "estuary": {"longitude": 66.0, "latitude": 25.2},
+                }
+            ],
+            "mountains": [{"name": "Mount BB-0", "elevation": 7_140}],
+            "deserts": [{"name": "Desert BB-0", "area": 210_000}],
+            "islands": [{"name": "Island BB-0", "area": 2_300}],
+            "seas": [{"name": "Sea BB-0", "depth": 5_100}],
+            "encompassed": [{"continent": "Asia", "percentage": 100.0}],
+            "coasts": [{"sea_name": "Sea BB-0", "length": 1_960}],
+            "climate": {"type": "arid", "rainfall": 210},
+        },
+    ]
+    organizations = [
+        {
+            "abbrev": "UN-X",
+            "name": "Union of Nations",
+            "established": 1946,
+            "members": [
+                {"country": "AA", "type": "member"},
+                {"country": "BB", "type": "observer"},
+            ],
+        },
+        {
+            "abbrev": "TRC",
+            "name": "Trade and Resource Council",
+            "established": 1971,
+            "members": [{"country": "BB", "type": "associate"}],
+        },
+    ]
+    return {"continents": continents, "countries": countries, "organizations": organizations}
+
+
+def dataset(scale: int = 12, seed: int = 17) -> DatasetBundle:
+    """The MONDIAL dataset bundle used by examples, tests and benchmarks."""
+    example_records = _example_records()
+    example_tables = records_to_tables(example_records)
+    return DatasetBundle(
+        name="MONDIAL",
+        format="xml",
+        schema=schema(),
+        example_tree=records_to_tree(example_records),
+        table_examples=[
+            TableExampleSpec(table=name, rows=rows) for name, rows in example_tables.items()
+        ],
+        generate=lambda s=scale: records_to_tree(make_records(s, seed)),
+        ground_truth=lambda s=scale: ground_truth_counts(s, seed),
+        description="Synthetic geographical database shaped like the MONDIAL XML document.",
+    )

@@ -1,0 +1,294 @@
+"""YELP simulator (JSON, 7 target tables).
+
+The real YELP academic dataset is ~4.6 GB of JSON records (businesses, users,
+reviews, tips, check-ins).  The simulator produces a document with top-level
+``businesses``, ``users``, ``reviews`` and ``tips`` collections — businesses
+nest their categories, opening hours and check-ins — and the normalized
+7-table target schema.  YELP records carry natural identifiers
+(``business_id``, ``user_id``, ``review_id``), so the schema uses natural keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hdt.tree import HDT
+from ..hdt.json_plugin import json_to_hdt
+from ..migration.engine import TableExampleSpec
+from ..relational.schema import ColumnDef, DatabaseSchema, ForeignKey, TableSchema
+from .base import DatasetBundle, Row, person_name, pick, rng, title_phrase
+
+_CITIES = [("Austin", "TX"), ("Portland", "OR"), ("Madison", "WI"), ("Tucson", "AZ")]
+_CATEGORIES = ["Coffee", "Bakery", "Ramen", "Books", "Records", "Tacos", "Climbing", "Barber"]
+_DAYS = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
+_TIP_TEXTS = [
+    "great espresso", "try the weekend special", "gets busy after noon",
+    "plenty of seating", "cash only", "ask for the off-menu item",
+]
+
+
+def make_records(scale: int, seed: int = 13) -> Dict[str, List[dict]]:
+    """Generate synthetic YELP records (``2*scale`` businesses, ``3*scale`` users)."""
+    generator = rng(seed)
+    users = [
+        {
+            "user_id": f"u{i:05d}",
+            "name": person_name(generator),
+            "since": 2008 + generator.randrange(15),
+        }
+        for i in range(3 * scale)
+    ]
+    businesses = []
+    reviews = []
+    tips = []
+    review_counter = 0
+    for index in range(2 * scale):
+        city, state = pick(generator, _CITIES)
+        business_id = f"b{index:05d}"
+        businesses.append(
+            {
+                "business_id": business_id,
+                "name": f"{title_phrase(generator, 2)} {pick(generator, _CATEGORIES)}",
+                "city": city,
+                "state": state,
+                "stars": round(2.5 + generator.random() * 2.5, 1),
+                "categories": sorted({pick(generator, _CATEGORIES) for _ in range(1 + generator.randrange(2))}),
+                "hours": [
+                    {"day": _DAYS[d], "open": "08:00", "close": "18:00"}
+                    for d in range(1 + generator.randrange(3))
+                ],
+                "checkins": [
+                    {"day": _DAYS[d], "count": 1 + generator.randrange(40)}
+                    for d in range(1 + generator.randrange(3))
+                ],
+            }
+        )
+        for _ in range(1 + generator.randrange(3)):
+            reviews.append(
+                {
+                    "review_id": f"r{review_counter:06d}",
+                    "business_id": business_id,
+                    "user_id": pick(generator, users)["user_id"],
+                    "stars": 1 + generator.randrange(5),
+                    "date": f"20{10 + generator.randrange(14)}-0{1 + generator.randrange(9)}-1{generator.randrange(9)}",
+                }
+            )
+            review_counter += 1
+        if generator.random() < 0.7:
+            tips.append(
+                {
+                    "business_id": business_id,
+                    "user_id": pick(generator, users)["user_id"],
+                    "text": pick(generator, _TIP_TEXTS),
+                    "date": f"20{10 + generator.randrange(14)}-0{1 + generator.randrange(9)}-2{generator.randrange(9)}",
+                }
+            )
+    return {"businesses": businesses, "users": users, "reviews": reviews, "tips": tips}
+
+
+def records_to_tree(records: Dict[str, List[dict]]) -> HDT:
+    """Materialize records as the YELP-shaped JSON document."""
+    return json_to_hdt(
+        {
+            "businesses": records["businesses"],
+            "users": records["users"],
+            "reviews": records["reviews"],
+            "tips": records["tips"],
+        }
+    )
+
+
+def schema() -> DatabaseSchema:
+    """The 7-table normalized YELP target schema (natural keys)."""
+    return DatabaseSchema(
+        name="yelp",
+        tables=[
+            TableSchema(
+                "business",
+                [
+                    ColumnDef("business_id", "text", nullable=False),
+                    ColumnDef("name", "text"),
+                    ColumnDef("city", "text"),
+                    ColumnDef("state", "text"),
+                    ColumnDef("stars", "real"),
+                ],
+                primary_key="business_id",
+                natural_keys=True,
+            ),
+            TableSchema(
+                "category",
+                [ColumnDef("business_id", "text", nullable=False), ColumnDef("name", "text")],
+                foreign_keys=[ForeignKey("business_id", "business", "business_id")],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "hours",
+                [
+                    ColumnDef("business_id", "text", nullable=False),
+                    ColumnDef("day", "text"),
+                    ColumnDef("open", "text"),
+                    ColumnDef("close", "text"),
+                ],
+                foreign_keys=[ForeignKey("business_id", "business", "business_id")],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "user",
+                [
+                    ColumnDef("user_id", "text", nullable=False),
+                    ColumnDef("name", "text"),
+                    ColumnDef("since", "integer"),
+                ],
+                primary_key="user_id",
+                natural_keys=True,
+            ),
+            TableSchema(
+                "review",
+                [
+                    ColumnDef("review_id", "text", nullable=False),
+                    ColumnDef("business_id", "text"),
+                    ColumnDef("user_id", "text"),
+                    ColumnDef("stars", "integer"),
+                    ColumnDef("date", "text"),
+                ],
+                primary_key="review_id",
+                foreign_keys=[
+                    ForeignKey("business_id", "business", "business_id"),
+                    ForeignKey("user_id", "user", "user_id"),
+                ],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "tip",
+                [
+                    ColumnDef("business_id", "text", nullable=False),
+                    ColumnDef("user_id", "text"),
+                    ColumnDef("text", "text"),
+                    ColumnDef("date", "text"),
+                ],
+                foreign_keys=[
+                    ForeignKey("business_id", "business", "business_id"),
+                    ForeignKey("user_id", "user", "user_id"),
+                ],
+                natural_keys=True,
+            ),
+            TableSchema(
+                "checkin",
+                [
+                    ColumnDef("business_id", "text", nullable=False),
+                    ColumnDef("day", "text"),
+                    ColumnDef("count", "integer"),
+                ],
+                foreign_keys=[ForeignKey("business_id", "business", "business_id")],
+                natural_keys=True,
+            ),
+        ],
+    )
+
+
+def records_to_tables(records: Dict[str, List[dict]]) -> Dict[str, List[Row]]:
+    """Ground-truth relational content for a set of records."""
+    tables: Dict[str, List[Row]] = {
+        "business": [],
+        "category": [],
+        "hours": [],
+        "user": [(u["user_id"], u["name"], u["since"]) for u in records["users"]],
+        "review": [
+            (r["review_id"], r["business_id"], r["user_id"], r["stars"], r["date"])
+            for r in records["reviews"]
+        ],
+        "tip": [
+            (t["business_id"], t["user_id"], t["text"], t["date"]) for t in records["tips"]
+        ],
+        "checkin": [],
+    }
+    for business in records["businesses"]:
+        tables["business"].append(
+            (
+                business["business_id"],
+                business["name"],
+                business["city"],
+                business["state"],
+                business["stars"],
+            )
+        )
+        for category in business["categories"]:
+            tables["category"].append((business["business_id"], category))
+        for entry in business["hours"]:
+            tables["hours"].append(
+                (business["business_id"], entry["day"], entry["open"], entry["close"])
+            )
+        for entry in business["checkins"]:
+            tables["checkin"].append((business["business_id"], entry["day"], entry["count"]))
+    return tables
+
+
+def ground_truth_counts(scale: int, seed: int = 13) -> Dict[str, int]:
+    """Expected *distinct* row counts per table for a generated document."""
+    tables = records_to_tables(make_records(scale, seed))
+    return {name: len(set(rows)) for name, rows in tables.items()}
+
+
+def _example_records() -> Dict[str, List[dict]]:
+    """A small example with two businesses, three users, a few reviews/tips."""
+    users = [
+        {"user_id": "u00001", "name": "Ada Chen", "since": 2011},
+        {"user_id": "u00002", "name": "Brian Okafor", "since": 2015},
+        {"user_id": "u00003", "name": "Carla Rossi", "since": 2009},
+    ]
+    businesses = [
+        {
+            "business_id": "b00001",
+            "name": "Cedar Harbor Coffee",
+            "city": "Austin",
+            "state": "TX",
+            "stars": 4.5,
+            "categories": ["Coffee", "Bakery"],
+            "hours": [
+                {"day": "Monday", "open": "07:00", "close": "17:00"},
+                {"day": "Tuesday", "open": "07:30", "close": "18:00"},
+            ],
+            "checkins": [{"day": "Friday", "count": 12}, {"day": "Sunday", "count": 31}],
+        },
+        {
+            "business_id": "b00002",
+            "name": "Quartz Meadow Records",
+            "city": "Portland",
+            "state": "OR",
+            "stars": 3.5,
+            "categories": ["Records"],
+            "hours": [
+                {"day": "Monday", "open": "09:00", "close": "21:00"},
+                {"day": "Saturday", "open": "10:00", "close": "20:00"},
+            ],
+            "checkins": [{"day": "Friday", "count": 7}, {"day": "Wednesday", "count": 3}],
+        },
+    ]
+    reviews = [
+        {"review_id": "r000001", "business_id": "b00001", "user_id": "u00001", "stars": 5, "date": "2019-03-12"},
+        {"review_id": "r000002", "business_id": "b00001", "user_id": "u00002", "stars": 4, "date": "2020-07-01"},
+        {"review_id": "r000003", "business_id": "b00002", "user_id": "u00003", "stars": 2, "date": "2021-11-23"},
+    ]
+    tips = [
+        {"business_id": "b00001", "user_id": "u00003", "text": "great espresso", "date": "2018-05-02"},
+        {"business_id": "b00002", "user_id": "u00001", "text": "cash only", "date": "2022-01-15"},
+    ]
+    return {"businesses": businesses, "users": users, "reviews": reviews, "tips": tips}
+
+
+def dataset(scale: int = 15, seed: int = 13) -> DatasetBundle:
+    """The YELP dataset bundle used by examples, tests and benchmarks."""
+    example_records = _example_records()
+    example_tables = records_to_tables(example_records)
+    return DatasetBundle(
+        name="YELP",
+        format="json",
+        schema=schema(),
+        example_tree=records_to_tree(example_records),
+        table_examples=[
+            TableExampleSpec(table=name, rows=rows) for name, rows in example_tables.items()
+        ],
+        generate=lambda s=scale: records_to_tree(make_records(s, seed)),
+        ground_truth=lambda s=scale: ground_truth_counts(s, seed),
+        description="Synthetic local-business data shaped like the YELP JSON dataset.",
+    )

@@ -1,0 +1,309 @@
+"""Abstract syntax of the tree-to-table DSL (Figure 6 of the paper).
+
+The grammar is::
+
+    Program          P  := λτ. filter(ψ, λt. φ)
+    Table extractor  ψ  := (λs.π){root(τ)} | ψ1 × ψ2
+    Column extractor π  := s | children(π, tag) | pchildren(π, tag, pos)
+                         | descendants(π, tag)
+    Predicate        φ  := ((λn.ϕ) t[i]) ⊙ c
+                         | ((λn.ϕ1) t[i]) ⊙ ((λn.ϕ2) t[j])
+                         | φ1 ∧ φ2 | φ1 ∨ φ2 | ¬φ
+    Node extractor   ϕ  := n | parent(ϕ) | child(ϕ, tag, pos)
+
+Every AST node is an immutable, hashable dataclass so that synthesized
+fragments can be deduplicated, memoized and used as dictionary keys.  The
+comparison operator ⊙ ranges over =, ≠, <, ≤, >, ≥.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple, Union
+
+from ..hdt.node import Scalar
+
+
+class Op(Enum):
+    """Comparison operators usable in atomic predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def flipped(self) -> "Op":
+        """The operator obtained by swapping the two operands."""
+        return {
+            Op.EQ: Op.EQ,
+            Op.NE: Op.NE,
+            Op.LT: Op.GT,
+            Op.LE: Op.GE,
+            Op.GT: Op.LT,
+            Op.GE: Op.LE,
+        }[self]
+
+    def negated(self) -> "Op":
+        """The operator equivalent to the logical negation of this one."""
+        return {
+            Op.EQ: Op.NE,
+            Op.NE: Op.EQ,
+            Op.LT: Op.GE,
+            Op.LE: Op.GT,
+            Op.GT: Op.LE,
+            Op.GE: Op.LT,
+        }[self]
+
+
+# --------------------------------------------------------------------------- #
+# Column extractors
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ColumnExtractor:
+    """Base class for column extractors π."""
+
+    def size(self) -> int:
+        """Number of constructs in the extractor (used by the cost function)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(ColumnExtractor):
+    """The bound variable ``s`` (the set of nodes passed in, initially {root})."""
+
+    def size(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Children(ColumnExtractor):
+    """``children(π, tag)`` — all children with the given tag."""
+
+    source: ColumnExtractor
+    tag: str
+
+    def size(self) -> int:
+        return 1 + self.source.size()
+
+
+@dataclass(frozen=True)
+class PChildren(ColumnExtractor):
+    """``pchildren(π, tag, pos)`` — children with the given tag and position."""
+
+    source: ColumnExtractor
+    tag: str
+    pos: int
+
+    def size(self) -> int:
+        return 1 + self.source.size()
+
+
+@dataclass(frozen=True)
+class Descendants(ColumnExtractor):
+    """``descendants(π, tag)`` — all proper descendants with the given tag."""
+
+    source: ColumnExtractor
+    tag: str
+
+    def size(self) -> int:
+        return 1 + self.source.size()
+
+
+# --------------------------------------------------------------------------- #
+# Table extractors
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TableExtractor:
+    """``(λs.π1){root(τ)} × ... × (λs.πk){root(τ)}``.
+
+    The paper writes table extractors as nested binary cross products; since
+    the product is associative we store the flattened tuple of column
+    extractors directly.
+    """
+
+    columns: Tuple[ColumnExtractor, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def size(self) -> int:
+        return sum(c.size() for c in self.columns)
+
+
+# --------------------------------------------------------------------------- #
+# Node extractors
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class NodeExtractor:
+    """Base class for node extractors ϕ."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NodeVar(NodeExtractor):
+    """The bound node variable ``n``."""
+
+    def size(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Parent(NodeExtractor):
+    """``parent(ϕ)`` — the parent of the extracted node (⊥ at the root)."""
+
+    source: NodeExtractor
+
+    def size(self) -> int:
+        return 1 + self.source.size()
+
+
+@dataclass(frozen=True)
+class Child(NodeExtractor):
+    """``child(ϕ, tag, pos)`` — the child with the given tag and position."""
+
+    source: NodeExtractor
+    tag: str
+    pos: int
+
+    def size(self) -> int:
+        return 1 + self.source.size()
+
+
+# --------------------------------------------------------------------------- #
+# Predicates
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class for row-filter predicates φ."""
+
+    def size(self) -> int:
+        """Number of atomic predicates contained in this formula."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class True_(Predicate):
+    """The trivially-true predicate (used when no filtering is required)."""
+
+    def size(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class False_(Predicate):
+    """The trivially-false predicate (empty output)."""
+
+    def size(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class CompareConst(Predicate):
+    """``((λn.ϕ) t[i]) ⊙ c`` — compare data reachable from column i to a constant."""
+
+    extractor: NodeExtractor
+    column: int
+    op: Op
+    constant: Scalar
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class CompareNodes(Predicate):
+    """``((λn.ϕ1) t[i]) ⊙ ((λn.ϕ2) t[j])`` — compare two extracted nodes."""
+
+    left_extractor: NodeExtractor
+    left_column: int
+    op: Op
+    right_extractor: NodeExtractor
+    right_column: int
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def size(self) -> int:
+        return self.left.size() + self.right.size()
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def size(self) -> int:
+        return self.left.size() + self.right.size()
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+    def size(self) -> int:
+        return self.operand.size()
+
+
+# --------------------------------------------------------------------------- #
+# Programs
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Program:
+    """``λτ. filter(ψ, λt. φ)`` — the top-level DSL program."""
+
+    table: TableExtractor
+    predicate: Predicate = field(default_factory=True_)
+
+    @property
+    def arity(self) -> int:
+        return self.table.arity
+
+    def num_atomic_predicates(self) -> int:
+        return self.predicate.size()
+
+    def num_extractor_constructs(self) -> int:
+        return self.table.size()
+
+
+def conjoin(predicates) -> Predicate:
+    """Build the conjunction of an iterable of predicates (True_ if empty)."""
+    result: Predicate = True_()
+    for pred in predicates:
+        result = pred if isinstance(result, True_) else And(result, pred)
+    return result
+
+
+def disjoin(predicates) -> Predicate:
+    """Build the disjunction of an iterable of predicates (False_ if empty)."""
+    result: Predicate = False_()
+    for pred in predicates:
+        result = pred if isinstance(result, False_) else Or(result, pred)
+    return result

@@ -1,0 +1,57 @@
+"""Heuristic cost function θ used to rank candidate programs (Section 6).
+
+The paper's ranking is an Occam's-razor heuristic: among programs consistent
+with the examples, prefer the one with
+
+1. the fewest *atomic predicates* in the row filter, then
+2. the fewest constructs in the column extractors.
+
+We extend the tuple with two deterministic tie-breakers (total predicate AST
+size and the pretty-printed text) so that synthesis results are reproducible
+run-to-run, which the evaluation harness relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .ast import ColumnExtractor, Predicate, Program
+from .pretty import pretty_program
+
+CostTuple = Tuple[int, int, int, str]
+
+
+def predicate_cost(predicate: Predicate) -> int:
+    """Number of atomic predicates in a formula."""
+    return predicate.size()
+
+
+def extractor_cost(extractor: ColumnExtractor) -> int:
+    """Number of constructs in a column extractor."""
+    return extractor.size()
+
+
+def program_cost(program: Program) -> CostTuple:
+    """The cost tuple θ(P); lower tuples are simpler programs."""
+    return (
+        program.num_atomic_predicates(),
+        program.num_extractor_constructs(),
+        _predicate_depth(program.predicate),
+        pretty_program(program),
+    )
+
+
+def _predicate_depth(predicate: Predicate) -> int:
+    """Total number of boolean connectives, a secondary simplicity signal."""
+    from .ast import And, Not, Or
+
+    if isinstance(predicate, And) or isinstance(predicate, Or):
+        return 1 + _predicate_depth(predicate.left) + _predicate_depth(predicate.right)
+    if isinstance(predicate, Not):
+        return 1 + _predicate_depth(predicate.operand)
+    return 0
+
+
+def simpler(a: Program, b: Program) -> Program:
+    """Return the simpler of two programs according to θ."""
+    return a if program_cost(a) <= program_cost(b) else b

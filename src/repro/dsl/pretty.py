@@ -1,0 +1,93 @@
+"""Pretty-printing of DSL programs in the paper's surface syntax.
+
+The printer produces strings like::
+
+    λτ. filter((λs.pchildren(children(s, Person), name, 0)){root(τ)} ×
+               (λs.pchildren(children(s, Person), name, 0)){root(τ)},
+               λt. ((λn.parent(n)) t[0]) = ((λn.parent(parent(n))) t[1]))
+
+which mirrors Figures 3 and 8 of the paper, and is used in documentation,
+logging and the EXPERIMENTS report.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    Child,
+    Children,
+    ColumnExtractor,
+    CompareConst,
+    CompareNodes,
+    Descendants,
+    False_,
+    NodeExtractor,
+    NodeVar,
+    Not,
+    Or,
+    Parent,
+    PChildren,
+    Predicate,
+    Program,
+    TableExtractor,
+    True_,
+    Var,
+)
+
+
+def pretty_column(extractor: ColumnExtractor) -> str:
+    """Render a column extractor π."""
+    if isinstance(extractor, Var):
+        return "s"
+    if isinstance(extractor, Children):
+        return f"children({pretty_column(extractor.source)}, {extractor.tag})"
+    if isinstance(extractor, PChildren):
+        return f"pchildren({pretty_column(extractor.source)}, {extractor.tag}, {extractor.pos})"
+    if isinstance(extractor, Descendants):
+        return f"descendants({pretty_column(extractor.source)}, {extractor.tag})"
+    raise TypeError(f"unknown column extractor: {extractor!r}")
+
+
+def pretty_table(table: TableExtractor) -> str:
+    """Render a table extractor ψ."""
+    parts = [f"(λs.{pretty_column(col)})" + "{root(τ)}" for col in table.columns]
+    return " × ".join(parts)
+
+
+def pretty_node_extractor(extractor: NodeExtractor) -> str:
+    """Render a node extractor ϕ."""
+    if isinstance(extractor, NodeVar):
+        return "n"
+    if isinstance(extractor, Parent):
+        return f"parent({pretty_node_extractor(extractor.source)})"
+    if isinstance(extractor, Child):
+        return f"child({pretty_node_extractor(extractor.source)}, {extractor.tag}, {extractor.pos})"
+    raise TypeError(f"unknown node extractor: {extractor!r}")
+
+
+def pretty_predicate(predicate: Predicate) -> str:
+    """Render a predicate φ."""
+    if isinstance(predicate, True_):
+        return "true"
+    if isinstance(predicate, False_):
+        return "false"
+    if isinstance(predicate, CompareConst):
+        lhs = f"((λn.{pretty_node_extractor(predicate.extractor)}) t[{predicate.column}])"
+        const = repr(predicate.constant) if isinstance(predicate.constant, str) else str(predicate.constant)
+        return f"{lhs} {predicate.op.value} {const}"
+    if isinstance(predicate, CompareNodes):
+        lhs = f"((λn.{pretty_node_extractor(predicate.left_extractor)}) t[{predicate.left_column}])"
+        rhs = f"((λn.{pretty_node_extractor(predicate.right_extractor)}) t[{predicate.right_column}])"
+        return f"{lhs} {predicate.op.value} {rhs}"
+    if isinstance(predicate, And):
+        return f"({pretty_predicate(predicate.left)} ∧ {pretty_predicate(predicate.right)})"
+    if isinstance(predicate, Or):
+        return f"({pretty_predicate(predicate.left)} ∨ {pretty_predicate(predicate.right)})"
+    if isinstance(predicate, Not):
+        return f"¬{pretty_predicate(predicate.operand)}"
+    raise TypeError(f"unknown predicate: {predicate!r}")
+
+
+def pretty_program(program: Program) -> str:
+    """Render a full program P in the paper's surface syntax."""
+    return f"λτ. filter({pretty_table(program.table)}, λt. {pretty_predicate(program.predicate)})"

@@ -1,0 +1,281 @@
+"""Denotational semantics of the DSL (Figure 7 of the paper).
+
+The central entry points are:
+
+* :func:`eval_column` — evaluate a column extractor π on a set of nodes,
+* :func:`eval_table` — evaluate a table extractor ψ, producing the tuples of
+  the intermediate table (tuples of *nodes*),
+* :func:`eval_node_extractor` — evaluate a node extractor ϕ on a node
+  (returning ``None`` for ⊥),
+* :func:`eval_predicate` — evaluate a predicate φ on a tuple of nodes,
+* :func:`run_program` — evaluate a full program, producing the output table
+  as a list of tuples of *data values*.
+
+Column extractors return nodes in document order with duplicates removed,
+which keeps evaluation deterministic.  :func:`run_program` materializes the
+cross product exactly as the formal semantics prescribes; the optimizer
+(:mod:`repro.optimizer`) provides an equivalent but asymptotically better
+execution strategy.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..hdt.node import Node, Scalar
+from ..hdt.tree import HDT
+from .ast import (
+    And,
+    Child,
+    Children,
+    ColumnExtractor,
+    CompareConst,
+    CompareNodes,
+    Descendants,
+    False_,
+    NodeExtractor,
+    NodeVar,
+    Not,
+    Op,
+    Or,
+    Parent,
+    PChildren,
+    Predicate,
+    Program,
+    TableExtractor,
+    True_,
+    Var,
+)
+
+NodeTuple = Tuple[Node, ...]
+DataTuple = Tuple[Scalar, ...]
+
+
+class EvaluationError(Exception):
+    """Raised when a DSL term cannot be evaluated (malformed AST)."""
+
+
+# --------------------------------------------------------------------------- #
+# Column extractors
+# --------------------------------------------------------------------------- #
+
+
+def eval_column(
+    extractor: ColumnExtractor,
+    nodes: Sequence[Node],
+    *,
+    cache: Optional[Dict] = None,
+) -> List[Node]:
+    """Evaluate a column extractor on an ordered set of nodes.
+
+    ``cache`` is an optional memoization dictionary keyed by
+    ``(extractor, tuple of node uids)``; the optimizer shares one cache across
+    all columns of a program so that common prefixes are evaluated once.
+    """
+    if cache is not None:
+        key = (extractor, tuple(n.uid for n in nodes))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+
+    result = _eval_column(extractor, nodes, cache)
+
+    if cache is not None:
+        cache[key] = result
+    return result
+
+
+def _eval_column(extractor: ColumnExtractor, nodes: Sequence[Node], cache) -> List[Node]:
+    if isinstance(extractor, Var):
+        return _dedupe(nodes)
+    if isinstance(extractor, Children):
+        sources = eval_column(extractor.source, nodes, cache=cache)
+        return _dedupe(c for n in sources for c in n.children_with_tag(extractor.tag))
+    if isinstance(extractor, PChildren):
+        sources = eval_column(extractor.source, nodes, cache=cache)
+        out: List[Node] = []
+        for n in sources:
+            child = n.child_with(extractor.tag, extractor.pos)
+            if child is not None:
+                out.append(child)
+        return _dedupe(out)
+    if isinstance(extractor, Descendants):
+        sources = eval_column(extractor.source, nodes, cache=cache)
+        return _dedupe(d for n in sources for d in n.descendants_with_tag(extractor.tag))
+    raise EvaluationError(f"unknown column extractor: {extractor!r}")
+
+
+def eval_column_on_tree(
+    extractor: ColumnExtractor, tree: HDT, *, cache: Optional[Dict] = None
+) -> List[Node]:
+    """Evaluate ``(λs.π){root(τ)}`` — i.e. apply the extractor to the root."""
+    return eval_column(extractor, [tree.root], cache=cache)
+
+
+def _dedupe(nodes: Iterable[Node]) -> List[Node]:
+    seen = set()
+    out: List[Node] = []
+    for node in nodes:
+        if node.uid not in seen:
+            seen.add(node.uid)
+            out.append(node)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Table extractors
+# --------------------------------------------------------------------------- #
+
+
+def eval_table(
+    table: TableExtractor, tree: HDT, *, cache: Optional[Dict] = None
+) -> List[NodeTuple]:
+    """Evaluate a table extractor, producing the intermediate table of node tuples."""
+    columns = [eval_column_on_tree(col, tree, cache=cache) for col in table.columns]
+    return [tuple(combo) for combo in product(*columns)]
+
+
+def eval_table_columns(
+    table: TableExtractor, tree: HDT, *, cache: Optional[Dict] = None
+) -> List[List[Node]]:
+    """Evaluate each column extractor of a table extractor separately."""
+    return [eval_column_on_tree(col, tree, cache=cache) for col in table.columns]
+
+
+# --------------------------------------------------------------------------- #
+# Node extractors
+# --------------------------------------------------------------------------- #
+
+
+def eval_node_extractor(extractor: NodeExtractor, node: Optional[Node]) -> Optional[Node]:
+    """Evaluate a node extractor; ``None`` plays the role of ⊥."""
+    if node is None:
+        return None
+    if isinstance(extractor, NodeVar):
+        return node
+    if isinstance(extractor, Parent):
+        inner = eval_node_extractor(extractor.source, node)
+        return None if inner is None else inner.parent
+    if isinstance(extractor, Child):
+        inner = eval_node_extractor(extractor.source, node)
+        return None if inner is None else inner.child_with(extractor.tag, extractor.pos)
+    raise EvaluationError(f"unknown node extractor: {extractor!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Predicates
+# --------------------------------------------------------------------------- #
+
+
+def compare_values(left: Scalar, op: Op, right: Scalar) -> bool:
+    """Compare two scalar data values with the given operator.
+
+    Numeric values compare numerically; otherwise both sides are compared as
+    strings for ordering operators, and by equality of the raw values for
+    equality operators.  Mixed numeric/string comparisons with ordering
+    operators evaluate to ``False`` rather than raising.
+    """
+    if op is Op.EQ:
+        return _values_equal(left, right)
+    if op is Op.NE:
+        return not _values_equal(left, right)
+
+    left_num, right_num = _as_number(left), _as_number(right)
+    if left_num is not None and right_num is not None:
+        a, b = left_num, right_num
+    elif isinstance(left, str) and isinstance(right, str):
+        a, b = left, right
+    else:
+        return False
+
+    if op is Op.LT:
+        return a < b
+    if op is Op.LE:
+        return a <= b
+    if op is Op.GT:
+        return a > b
+    if op is Op.GE:
+        return a >= b
+    raise EvaluationError(f"unknown operator: {op!r}")
+
+
+def _values_equal(left: Scalar, right: Scalar) -> bool:
+    left_num, right_num = _as_number(left), _as_number(right)
+    if left_num is not None and right_num is not None:
+        return left_num == right_num
+    return left == right
+
+
+def _as_number(value: Scalar):
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    return None
+
+
+def eval_predicate(predicate: Predicate, row: NodeTuple) -> bool:
+    """Evaluate a predicate on a tuple of HDT nodes (Figure 7 semantics)."""
+    if isinstance(predicate, True_):
+        return True
+    if isinstance(predicate, False_):
+        return False
+    if isinstance(predicate, And):
+        return eval_predicate(predicate.left, row) and eval_predicate(predicate.right, row)
+    if isinstance(predicate, Or):
+        return eval_predicate(predicate.left, row) or eval_predicate(predicate.right, row)
+    if isinstance(predicate, Not):
+        return not eval_predicate(predicate.operand, row)
+    if isinstance(predicate, CompareConst):
+        node = _extract(predicate.extractor, predicate.column, row)
+        if node is None:
+            return False
+        return compare_values(node.data, predicate.op, predicate.constant)
+    if isinstance(predicate, CompareNodes):
+        left = _extract(predicate.left_extractor, predicate.left_column, row)
+        right = _extract(predicate.right_extractor, predicate.right_column, row)
+        if left is None or right is None:
+            return False
+        if left.is_leaf() and right.is_leaf():
+            return compare_values(left.data, predicate.op, right.data)
+        if predicate.op is Op.EQ and not left.is_leaf() and not right.is_leaf():
+            return left is right
+        return False
+    raise EvaluationError(f"unknown predicate: {predicate!r}")
+
+
+def _extract(extractor: NodeExtractor, column: int, row: NodeTuple) -> Optional[Node]:
+    if column < 0 or column >= len(row):
+        return None
+    return eval_node_extractor(extractor, row[column])
+
+
+# --------------------------------------------------------------------------- #
+# Programs
+# --------------------------------------------------------------------------- #
+
+
+def run_program(program: Program, tree: HDT, *, cache: Optional[Dict] = None) -> List[DataTuple]:
+    """Run a full DSL program on an HDT, returning tuples of data values.
+
+    This is the direct implementation of the formal semantics: materialize the
+    intermediate table, filter it with the predicate, and project every
+    surviving node tuple onto the data stored at its nodes.
+    """
+    rows: List[DataTuple] = []
+    for node_row in eval_table(program.table, tree, cache=cache):
+        if eval_predicate(program.predicate, node_row):
+            rows.append(tuple(node.data for node in node_row))
+    return rows
+
+
+def run_program_nodes(
+    program: Program, tree: HDT, *, cache: Optional[Dict] = None
+) -> List[NodeTuple]:
+    """Like :func:`run_program` but return the surviving node tuples themselves."""
+    return [
+        node_row
+        for node_row in eval_table(program.table, tree, cache=cache)
+        if eval_predicate(program.predicate, node_row)
+    ]

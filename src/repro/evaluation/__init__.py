@@ -1,0 +1,31 @@
+"""Evaluation harnesses regenerating the paper's tables, figures and ablations."""
+
+from .ablation import (
+    OptimizerAblationPoint,
+    PredicateAblationResult,
+    render_ablation_report,
+    run_optimizer_ablation,
+    run_predicate_ablation,
+)
+from .scalability import ScalabilityReport, run_scalability, social_network_document
+from .table1 import Table1Report, TaskResult, run_table1, run_task
+from .table2 import DatasetReport, Table2Report, run_dataset, run_table2
+
+__all__ = [
+    "OptimizerAblationPoint",
+    "PredicateAblationResult",
+    "render_ablation_report",
+    "run_optimizer_ablation",
+    "run_predicate_ablation",
+    "ScalabilityReport",
+    "run_scalability",
+    "social_network_document",
+    "Table1Report",
+    "TaskResult",
+    "run_table1",
+    "run_task",
+    "DatasetReport",
+    "Table2Report",
+    "run_dataset",
+    "run_table2",
+]

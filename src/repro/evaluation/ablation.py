@@ -1,0 +1,140 @@
+"""Ablation studies (E5, E6 in DESIGN.md).
+
+Two design choices of the paper are quantified on this substrate:
+
+* **E5 — program optimization** (Section 6 / Appendix C): execute synthesized
+  programs with the cross-product-free optimizer versus the naive formal
+  semantics, on growing documents.
+* **E6 — predicate learning strategy** (Section 5.2): compare the minimum-cover
+  ILP + Quine–McCluskey pipeline against the greedy cover and against the
+  brute-force conjunctive baseline synthesizer, reporting predicate counts and
+  synthesis times on a sample of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..benchmarks_suite.stackoverflow import BenchmarkTask, load_suite
+from ..dsl.semantics import run_program
+from ..optimizer.optimize import execute
+from ..synthesis.baseline import BaselineSynthesizer
+from ..synthesis.config import SynthesisConfig
+from ..synthesis.synthesizer import ExamplePair, SynthesisTask, Synthesizer
+from .scalability import example_social_network, social_network_document
+
+
+@dataclass
+class OptimizerAblationPoint:
+    """Naive vs optimized execution time for one document size."""
+
+    num_persons: int
+    naive_seconds: float
+    optimized_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds == 0:
+            return float("inf")
+        return self.naive_seconds / self.optimized_seconds
+
+
+def run_optimizer_ablation(sizes: Sequence[int] = (20, 50, 100)) -> List[OptimizerAblationPoint]:
+    """E5: naive cross-product semantics vs the optimizer, same program."""
+    task = example_social_network()
+    result = Synthesizer(SynthesisConfig.for_migration()).synthesize(task)
+    if not result.success or result.program is None:
+        raise RuntimeError(f"ablation program synthesis failed: {result.message}")
+    program = result.program
+
+    points: List[OptimizerAblationPoint] = []
+    for size in sizes:
+        document = social_network_document(size)
+        start = time.perf_counter()
+        naive_rows = run_program(program, document)
+        naive_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        optimized_rows = execute(program, document)
+        optimized_elapsed = time.perf_counter() - start
+        if set(naive_rows) != set(optimized_rows):
+            raise RuntimeError("optimizer changed program semantics")
+        points.append(OptimizerAblationPoint(size, naive_elapsed, optimized_elapsed))
+    return points
+
+
+@dataclass
+class PredicateAblationResult:
+    """Comparison of predicate-learning strategies on one task."""
+
+    task_name: str
+    ilp_time: float
+    ilp_predicates: int
+    greedy_time: float
+    greedy_predicates: int
+    baseline_time: float
+    baseline_solved: bool
+
+
+def run_predicate_ablation(sample_size: int = 6) -> List[PredicateAblationResult]:
+    """E6: exact minimum-cover vs greedy cover vs the enumerative baseline."""
+    tasks = [t for t in load_suite() if t.expressible][:sample_size]
+    results: List[PredicateAblationResult] = []
+    for task in tasks:
+        synthesis_task = SynthesisTask(
+            examples=[ExamplePair(task.tree, [tuple(r) for r in task.rows])], name=task.name
+        )
+
+        ilp_config = SynthesisConfig(cover_strategy="ilp")
+        start = time.perf_counter()
+        ilp_result = Synthesizer(ilp_config).synthesize(synthesis_task)
+        ilp_time = time.perf_counter() - start
+
+        greedy_config = SynthesisConfig(cover_strategy="greedy")
+        start = time.perf_counter()
+        greedy_result = Synthesizer(greedy_config).synthesize(synthesis_task)
+        greedy_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        baseline_result = BaselineSynthesizer(SynthesisConfig.fast()).synthesize(synthesis_task)
+        baseline_time = time.perf_counter() - start
+
+        results.append(
+            PredicateAblationResult(
+                task_name=task.name,
+                ilp_time=ilp_time,
+                ilp_predicates=(
+                    ilp_result.program.num_atomic_predicates() if ilp_result.success else -1
+                ),
+                greedy_time=greedy_time,
+                greedy_predicates=(
+                    greedy_result.program.num_atomic_predicates() if greedy_result.success else -1
+                ),
+                baseline_time=baseline_time,
+                baseline_solved=baseline_result.success,
+            )
+        )
+    return results
+
+
+def render_ablation_report(
+    optimizer_points: List[OptimizerAblationPoint],
+    predicate_results: List[PredicateAblationResult],
+) -> str:
+    """Human-readable rendering of both ablations."""
+    lines = ["== E5: naive vs optimized execution =="]
+    for point in optimizer_points:
+        lines.append(
+            f"persons={point.num_persons:<6} naive={point.naive_seconds:.3f}s "
+            f"optimized={point.optimized_seconds:.3f}s speedup={point.speedup:.1f}x"
+        )
+    lines.append("")
+    lines.append("== E6: predicate learning strategies ==")
+    for result in predicate_results:
+        lines.append(
+            f"{result.task_name:34} ilp={result.ilp_time:.2f}s/{result.ilp_predicates}p "
+            f"greedy={result.greedy_time:.2f}s/{result.greedy_predicates}p "
+            f"baseline={result.baseline_time:.2f}s solved={result.baseline_solved}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Reproduction of Table 1: the 98-task StackOverflow benchmark evaluation.
+
+For every task in the suite, the harness runs the synthesizer, checks that the
+learned program reproduces the example output, and records: success, synthesis
+time, example sizes, the number of atomic predicates of the learned program,
+and the generated-code LOC (XSLT for XML tasks, JavaScript for JSON tasks —
+matching the paper's "LOC" column).  Results are aggregated per format and per
+column-count bucket exactly like Table 1.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..benchmarks_suite.stackoverflow import BenchmarkTask, load_suite
+from ..codegen.common import count_program_loc
+from ..codegen.js_gen import generate_javascript
+from ..codegen.xslt_gen import generate_xslt
+from ..synthesis.config import DEFAULT_CONFIG, SynthesisConfig
+from ..synthesis.predicate_learner import row_in_table
+from ..synthesis.synthesizer import ExamplePair, SynthesisTask, Synthesizer
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one benchmark task."""
+
+    task: BenchmarkTask
+    solved: bool
+    synthesis_time: float
+    num_predicates: int = 0
+    generated_loc: int = 0
+    message: str = ""
+
+
+@dataclass
+class BucketStats:
+    """One row of Table 1 (a format/column-count bucket)."""
+
+    fmt: str
+    bucket: str
+    total: int = 0
+    solved: int = 0
+    times: List[float] = field(default_factory=list)
+    elements: List[int] = field(default_factory=list)
+    rows: List[int] = field(default_factory=list)
+    predicates: List[int] = field(default_factory=list)
+    locs: List[int] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        def med(values):
+            return round(statistics.median(values), 2) if values else 0.0
+
+        def avg(values):
+            return round(statistics.fmean(values), 2) if values else 0.0
+
+        return {
+            "format": self.fmt,
+            "#cols": self.bucket,
+            "total": self.total,
+            "solved": self.solved,
+            "median_time_s": med(self.times),
+            "avg_time_s": avg(self.times),
+            "median_elements": med(self.elements),
+            "avg_elements": avg(self.elements),
+            "median_rows": med(self.rows),
+            "avg_rows": avg(self.rows),
+            "avg_preds": avg(self.predicates),
+            "avg_loc": avg(self.locs),
+        }
+
+
+@dataclass
+class Table1Report:
+    """The complete Table 1 reproduction."""
+
+    results: List[TaskResult]
+    buckets: List[BucketStats]
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def solved(self) -> int:
+        return sum(1 for r in self.results if r.solved)
+
+    @property
+    def solve_rate(self) -> float:
+        return self.solved / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        """ASCII rendering of the Table 1 reproduction."""
+        header = (
+            f"{'fmt':5} {'#cols':6} {'total':6} {'solved':7} {'med(s)':8} {'avg(s)':8} "
+            f"{'med#el':7} {'avg#el':7} {'med#rows':9} {'avg#rows':9} {'#preds':7} {'LOC':6}"
+        )
+        lines = [header, "-" * len(header)]
+        for bucket in self.buckets:
+            row = bucket.as_row()
+            lines.append(
+                f"{row['format']:5} {row['#cols']:6} {row['total']:6} {row['solved']:7} "
+                f"{row['median_time_s']:<8} {row['avg_time_s']:<8} {row['median_elements']:<7} "
+                f"{row['avg_elements']:<7} {row['median_rows']:<9} {row['avg_rows']:<9} "
+                f"{row['avg_preds']:<7} {row['avg_loc']:<6}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"Overall: {self.solved}/{self.total} solved ({100 * self.solve_rate:.1f}%)"
+        )
+        return "\n".join(lines)
+
+
+def run_task(task: BenchmarkTask, config: SynthesisConfig = DEFAULT_CONFIG) -> TaskResult:
+    """Run the synthesizer on one benchmark task and validate the result."""
+    synthesis_task = SynthesisTask(
+        examples=[ExamplePair(task.tree, [tuple(r) for r in task.rows])], name=task.name
+    )
+    synthesizer = Synthesizer(config)
+    start = time.perf_counter()
+    result = synthesizer.synthesize(synthesis_task)
+    elapsed = time.perf_counter() - start
+    if not result.success or result.program is None:
+        return TaskResult(task, solved=False, synthesis_time=elapsed, message=result.message)
+    generator = generate_xslt if task.format == "xml" else generate_javascript
+    loc = count_program_loc(generator(result.program))
+    return TaskResult(
+        task,
+        solved=True,
+        synthesis_time=elapsed,
+        num_predicates=result.program.num_atomic_predicates(),
+        generated_loc=loc,
+    )
+
+
+def run_table1(
+    tasks: Optional[Sequence[BenchmarkTask]] = None,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    *,
+    limit: Optional[int] = None,
+) -> Table1Report:
+    """Run the Table 1 experiment (optionally on a subset of the suite)."""
+    tasks = list(tasks) if tasks is not None else load_suite()
+    if limit is not None:
+        tasks = tasks[:limit]
+    results = [run_task(task, config) for task in tasks]
+
+    buckets: Dict[tuple, BucketStats] = {}
+    for result in results:
+        key = (result.task.format, result.task.bucket)
+        bucket = buckets.setdefault(key, BucketStats(fmt=key[0], bucket=key[1]))
+        bucket.total += 1
+        bucket.elements.append(result.task.num_elements)
+        bucket.rows.append(len(result.task.rows))
+        if result.solved:
+            bucket.solved += 1
+            bucket.times.append(result.synthesis_time)
+            bucket.predicates.append(result.num_predicates)
+            bucket.locs.append(result.generated_loc)
+
+    order = {"<=2": 0, "3": 1, "4": 2, ">=5": 3}
+    ordered = sorted(buckets.values(), key=lambda b: (b.fmt, order.get(b.bucket, 9)))
+    return Table1Report(results=results, buckets=ordered)

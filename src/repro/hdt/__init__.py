@@ -1,0 +1,20 @@
+"""Hierarchical data tree (HDT) substrate: node model and format plug-ins."""
+
+from .node import Node, Scalar
+from .tree import HDT, build_tree
+from .xml_plugin import hdt_to_xml, xml_file_to_hdt, xml_to_hdt
+from .json_plugin import hdt_to_json, hdt_to_json_string, json_file_to_hdt, json_to_hdt
+
+__all__ = [
+    "Node",
+    "Scalar",
+    "HDT",
+    "build_tree",
+    "xml_to_hdt",
+    "xml_file_to_hdt",
+    "hdt_to_xml",
+    "json_to_hdt",
+    "json_file_to_hdt",
+    "hdt_to_json",
+    "hdt_to_json_string",
+]

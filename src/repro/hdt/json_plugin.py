@@ -1,0 +1,109 @@
+"""JSON plug-in: convert JSON documents to hierarchical data trees and back.
+
+Following Section 3 of the paper, each key/value pair of a JSON document maps
+to an HDT node ``(key, pos, value)``:
+
+* a scalar value becomes a leaf node holding the value;
+* an object value becomes an internal node whose children are its key/value
+  pairs (``pos = 0`` for each, since the parent is not an array);
+* an array value ``k: [v0, v1, ...]`` becomes one node ``(k, i, .)`` per array
+  entry ``vi`` — i.e. the array itself is flattened into repeated siblings, as
+  described in Section 3 ("if the JSON file maps key k to the array
+  [18, 45, 32], the HDT contains three nodes (k,0,18), (k,1,45), (k,2,32)").
+
+The document root is a synthetic node with tag ``root``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from .node import Node
+from .tree import HDT
+
+ROOT_TAG = "root"
+ITEM_TAG = "item"
+
+
+def json_to_hdt(source: Union[str, dict, list]) -> HDT:
+    """Parse a JSON document (string or already-decoded value) into an HDT."""
+    value = json.loads(source) if isinstance(source, str) else source
+    root = Node(ROOT_TAG, 0, None)
+    _attach_value(root, value)
+    return HDT(root)
+
+
+def json_file_to_hdt(path: str) -> HDT:
+    """Parse a JSON file into an HDT."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json_to_hdt(json.load(handle))
+
+
+def _attach_value(parent: Node, value: Any) -> None:
+    """Attach a decoded JSON value under ``parent``."""
+    if isinstance(value, dict):
+        for key, val in value.items():
+            _attach_pair(parent, str(key), val)
+    elif isinstance(value, list):
+        for idx, item in enumerate(value):
+            child = parent.new_child(ITEM_TAG, idx)
+            _attach_value(child, item) if isinstance(item, (dict, list)) else _set_leaf(child, item)
+    else:
+        parent.data = value
+
+
+def _attach_pair(parent: Node, key: str, value: Any) -> None:
+    """Attach a single key/value pair under ``parent``."""
+    if isinstance(value, list):
+        for idx, item in enumerate(value):
+            child = parent.new_child(key, idx)
+            if isinstance(item, (dict, list)):
+                _attach_value(child, item)
+            else:
+                _set_leaf(child, item)
+    elif isinstance(value, dict):
+        child = parent.new_child(key, 0)
+        _attach_value(child, value)
+    else:
+        child = parent.new_child(key, 0)
+        _set_leaf(child, value)
+
+
+def _set_leaf(node: Node, value: Any) -> None:
+    node.data = value
+
+
+def hdt_to_json(tree: HDT) -> Any:
+    """Render an HDT back into a JSON-compatible python value.
+
+    The reconstruction groups same-tag siblings back into arrays when more than
+    one sibling shares a tag (or when positions indicate array membership).
+    This is used by the dataset simulators to materialize synthetic JSON files.
+    """
+    return _node_to_value(tree.root)
+
+
+def _node_to_value(node: Node) -> Any:
+    if node.is_leaf():
+        return node.data
+    grouped: dict = {}
+    order: list = []
+    for child in node.children:
+        if child.tag not in grouped:
+            grouped[child.tag] = []
+            order.append(child.tag)
+        grouped[child.tag].append(child)
+    result: dict = {}
+    for tag in order:
+        children = grouped[tag]
+        if len(children) == 1 and children[0].pos == 0:
+            result[tag] = _node_to_value(children[0])
+        else:
+            result[tag] = [_node_to_value(c) for c in sorted(children, key=lambda n: n.pos)]
+    return result
+
+
+def hdt_to_json_string(tree: HDT, *, indent: int = 2) -> str:
+    """Render an HDT to a JSON string."""
+    return json.dumps(hdt_to_json(tree), indent=indent)

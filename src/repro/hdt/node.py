@@ -1,0 +1,131 @@
+"""Hierarchical data tree nodes.
+
+The paper (Definition 1) models a hierarchical document as a rooted tree whose
+nodes are triples ``(tag, pos, data)``:
+
+* ``tag``  -- the label of the node (XML element name, JSON key, ...),
+* ``pos``  -- the index of the node among its siblings that share the same tag
+  (for JSON arrays: the index within the array),
+* ``data`` -- the payload stored at the node; only leaf nodes carry data, every
+  internal node stores ``None``.
+
+``Node`` instances are identity-based: predicates in the DSL may compare two
+internal nodes for *node identity* (see Figure 7 of the paper), so nodes are
+hashable by identity and never compared structurally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Union
+
+# Data stored at leaves: strings, numbers or booleans.
+Scalar = Union[str, int, float, bool, None]
+
+_NODE_COUNTER = itertools.count()
+
+
+class Node:
+    """A single node of a hierarchical data tree.
+
+    Parameters
+    ----------
+    tag:
+        Label of the node.
+    pos:
+        Position of the node among same-tag siblings (0-based).
+    data:
+        Payload for leaf nodes; ``None`` for internal nodes.
+
+    Notes
+    -----
+    Children are stored in document order.  The parent pointer is maintained by
+    :meth:`add_child`.  Each node receives a process-wide unique ``uid`` which is
+    used by the migration engine to build injective primary keys (Section 6 of
+    the paper).
+    """
+
+    __slots__ = ("tag", "pos", "data", "parent", "children", "uid")
+
+    def __init__(self, tag: str, pos: int = 0, data: Scalar = None) -> None:
+        self.tag = tag
+        self.pos = pos
+        self.data = data
+        self.parent: Optional["Node"] = None
+        self.children: List["Node"] = []
+        self.uid: int = next(_NODE_COUNTER)
+
+    # ------------------------------------------------------------------ tree
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` to this node's children and set its parent."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(self, tag: str, pos: int = 0, data: Scalar = None) -> "Node":
+        """Create a fresh child node and attach it."""
+        return self.add_child(Node(tag, pos, data))
+
+    # --------------------------------------------------------------- queries
+    def is_leaf(self) -> bool:
+        """Return ``True`` iff the node has no children."""
+        return not self.children
+
+    def children_with_tag(self, tag: str) -> List["Node"]:
+        """All children whose tag equals ``tag`` (document order)."""
+        return [c for c in self.children if c.tag == tag]
+
+    def child_with(self, tag: str, pos: int) -> Optional["Node"]:
+        """The child with the given tag and position, or ``None``."""
+        for c in self.children:
+            if c.tag == tag and c.pos == pos:
+                return c
+        return None
+
+    def descendants(self) -> Iterator["Node"]:
+        """All proper descendants in document (pre-)order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def descendants_with_tag(self, tag: str) -> List["Node"]:
+        """All proper descendants whose tag equals ``tag`` (document order)."""
+        return [d for d in self.descendants() if d.tag == tag]
+
+    def ancestors(self) -> Iterator["Node"]:
+        """All proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        """Number of edges between this node and the root."""
+        return sum(1 for _ in self.ancestors())
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted at this node (inclusive)."""
+        return 1 + sum(c.subtree_size() for c in self.children)
+
+    def path_from_root(self) -> List["Node"]:
+        """Nodes from the root down to (and including) this node."""
+        path = list(self.ancestors())
+        path.reverse()
+        path.append(self)
+        return path
+
+    # ------------------------------------------------------------------ misc
+    def label(self) -> str:
+        """Short human-readable label used in error messages and debugging."""
+        if self.data is None:
+            return f"{self.tag}[{self.pos}]"
+        return f"{self.tag}[{self.pos}]={self.data!r}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Node({self.label()}, uid={self.uid})"
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

@@ -1,0 +1,166 @@
+"""The hierarchical data tree (HDT) container.
+
+An :class:`HDT` wraps a root :class:`~repro.hdt.node.Node` and provides the
+whole-tree queries used by the synthesizer: the set of tags, the set of
+positions, the set of constants appearing in the document, node lookup by uid,
+and a few statistics used by the evaluation harness (element counts mirroring
+the "#Elements" column of Table 1 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .node import Node, Scalar
+
+
+class HDT:
+    """A rooted hierarchical data tree (Definition 1 of the paper)."""
+
+    def __init__(self, root: Node) -> None:
+        self.root = root
+        self._uid_index: Optional[Dict[int, Node]] = None
+
+    # --------------------------------------------------------------- queries
+    def nodes(self) -> Iterator[Node]:
+        """All nodes of the tree in document order (root first)."""
+        yield self.root
+        yield from self.root.descendants()
+
+    def size(self) -> int:
+        """Total number of nodes."""
+        return self.root.subtree_size()
+
+    def element_count(self) -> int:
+        """Number of *elements*, i.e. internal nodes.
+
+        This matches the "#Elements" statistic reported in Table 1 of the
+        paper, which counts XML elements / JSON objects rather than leaves.
+        """
+        return sum(1 for n in self.nodes() if not n.is_leaf())
+
+    def leaf_count(self) -> int:
+        """Number of leaf nodes."""
+        return sum(1 for n in self.nodes() if n.is_leaf())
+
+    def height(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+
+        def _height(node: Node) -> int:
+            if not node.children:
+                return 0
+            return 1 + max(_height(c) for c in node.children)
+
+        return _height(self.root)
+
+    def tags(self) -> List[str]:
+        """All distinct tags appearing in the tree, in first-seen order."""
+        seen: Set[str] = set()
+        out: List[str] = []
+        for node in self.nodes():
+            if node.tag not in seen:
+                seen.add(node.tag)
+                out.append(node.tag)
+        return out
+
+    def positions(self) -> List[int]:
+        """All distinct positions appearing in the tree, sorted."""
+        return sorted({node.pos for node in self.nodes()})
+
+    def positions_for_tag(self, tag: str) -> List[int]:
+        """Distinct positions used by nodes with the given tag, sorted."""
+        return sorted({n.pos for n in self.nodes() if n.tag == tag})
+
+    def constants(self) -> List[Scalar]:
+        """All distinct data values stored at leaves, in first-seen order.
+
+        These are the constants ``c`` that rule (4) of Figure 10 may use when
+        building the predicate universe.
+        """
+        seen: Set[Scalar] = set()
+        out: List[Scalar] = []
+        for node in self.nodes():
+            if node.data is not None and node.data not in seen:
+                seen.add(node.data)
+                out.append(node.data)
+        return out
+
+    def node_by_uid(self, uid: int) -> Node:
+        """Look up a node by its unique id (used by the migration engine)."""
+        if self._uid_index is None:
+            self._uid_index = {n.uid: n for n in self.nodes()}
+        return self._uid_index[uid]
+
+    def find_all(self, tag: str) -> List[Node]:
+        """All nodes (including the root) with the given tag, document order."""
+        return [n for n in self.nodes() if n.tag == tag]
+
+    def find_first(self, tag: str) -> Optional[Node]:
+        """First node with the given tag in document order, or ``None``."""
+        for node in self.nodes():
+            if node.tag == tag:
+                return node
+        return None
+
+    # ------------------------------------------------------------- rendering
+    def pretty(self, max_nodes: int = 200) -> str:
+        """Indented textual rendering of the tree (for debugging and docs)."""
+        lines: List[str] = []
+
+        def _render(node: Node, indent: int) -> None:
+            if len(lines) >= max_nodes:
+                return
+            lines.append("  " * indent + node.label())
+            for child in node.children:
+                _render(child, indent + 1)
+
+        _render(self.root, 0)
+        if self.size() > max_nodes:
+            lines.append(f"... ({self.size() - max_nodes} more nodes)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HDT(root={self.root.tag!r}, size={self.size()})"
+
+
+def build_tree(spec, tag: str = "root") -> HDT:
+    """Build an HDT from a nested python structure (convenience for tests).
+
+    The ``spec`` mirrors the JSON-to-HDT mapping of the paper: dictionaries
+    become internal nodes whose children are the key/value pairs, lists become
+    repeated children with increasing ``pos``, and scalars become leaf data.
+
+    Examples
+    --------
+    >>> tree = build_tree({"person": [{"name": "Ann"}, {"name": "Bob"}]})
+    >>> [n.data for n in tree.root.descendants_with_tag("name")]
+    ['Ann', 'Bob']
+    """
+    root = Node(tag, 0, None)
+    _attach(root, spec)
+    return HDT(root)
+
+
+def _attach(parent: Node, value) -> None:
+    if isinstance(value, dict):
+        for key, val in value.items():
+            if isinstance(val, list):
+                for idx, item in enumerate(val):
+                    child = parent.new_child(str(key), idx)
+                    _fill(child, item)
+            else:
+                child = parent.new_child(str(key), 0)
+                _fill(child, val)
+    elif isinstance(value, list):
+        for idx, item in enumerate(value):
+            child = parent.new_child("item", idx)
+            _fill(child, item)
+    else:
+        parent.data = value
+
+
+def _fill(node: Node, value) -> None:
+    if isinstance(value, (dict, list)):
+        _attach(node, value)
+    else:
+        node.data = value

@@ -1,0 +1,118 @@
+"""XML plug-in: convert XML documents to hierarchical data trees and back.
+
+Following Section 3 of the paper, XML elements map to HDT nodes; *attributes*
+and *text content* are modelled as nested elements so that a node can carry a
+mix of nested elements, attributes and text:
+
+* an attribute ``a="v"`` of element ``e`` becomes a leaf child ``(a, 0, "v")``
+  of the node for ``e``;
+* if an element contains only text (no attributes, no child elements), the
+  element node itself becomes a leaf carrying that text — this matches the
+  motivating example of Figure 2/4 where ``<name>Alice</name>`` is the leaf
+  node ``name`` with data ``"Alice"``;
+* if an element contains text *and* other content, the text becomes a leaf
+  child with the reserved tag ``text`` (as in Example 3 / Figure 8).
+
+Positions are assigned per (parent, tag): the i-th child of a parent with a
+given tag gets ``pos = i``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Optional, Union
+
+from .node import Node, Scalar
+from .tree import HDT
+
+TEXT_TAG = "text"
+
+
+def xml_to_hdt(source: Union[str, ET.Element], *, coerce_numbers: bool = True) -> HDT:
+    """Parse an XML document (string or ElementTree element) into an HDT.
+
+    Parameters
+    ----------
+    source:
+        Either an XML string or an already-parsed ``xml.etree`` element.
+    coerce_numbers:
+        When true, attribute values and text content that look like integers
+        or floats are stored as numbers so that predicates such as
+        ``id < 20`` (Example 3 of the paper) behave as expected.
+    """
+    element = ET.fromstring(source) if isinstance(source, str) else source
+    root = _convert_element(element, pos=0, coerce=coerce_numbers)
+    return HDT(root)
+
+
+def xml_file_to_hdt(path: str, *, coerce_numbers: bool = True) -> HDT:
+    """Parse an XML file into an HDT."""
+    tree = ET.parse(path)
+    return xml_to_hdt(tree.getroot(), coerce_numbers=coerce_numbers)
+
+
+def _convert_element(element: ET.Element, pos: int, coerce: bool) -> Node:
+    text = (element.text or "").strip()
+    has_children = len(element) > 0
+    has_attrs = len(element.attrib) > 0
+
+    if text and not has_children and not has_attrs:
+        # Pure text element -> leaf node carrying the text directly.
+        return Node(element.tag, pos, _coerce(text) if coerce else text)
+
+    node = Node(element.tag, pos, None)
+    for name, value in element.attrib.items():
+        node.add_child(Node(name, 0, _coerce(value) if coerce else value))
+    if text:
+        node.add_child(Node(TEXT_TAG, 0, _coerce(text) if coerce else text))
+
+    tag_counts: Dict[str, int] = {}
+    for child in element:
+        child_pos = tag_counts.get(child.tag, 0)
+        tag_counts[child.tag] = child_pos + 1
+        node.add_child(_convert_element(child, child_pos, coerce))
+    return node
+
+
+def hdt_to_xml(tree: HDT) -> str:
+    """Render an HDT back to an XML string (inverse of :func:`xml_to_hdt`).
+
+    Leaf nodes are rendered as elements with text content; internal nodes as
+    nested elements.  This is used by the dataset simulators to materialize
+    synthetic XML documents.
+    """
+    element = _node_to_element(tree.root)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _node_to_element(node: Node) -> ET.Element:
+    element = ET.Element(node.tag)
+    if node.is_leaf():
+        element.text = _render(node.data)
+        return element
+    for child in node.children:
+        if child.is_leaf() and child.tag == TEXT_TAG:
+            element.text = _render(child.data)
+        else:
+            element.append(_node_to_element(child))
+    return element
+
+
+def _render(value: Scalar) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _coerce(value: str) -> Scalar:
+    """Convert a string to int/float when it is purely numeric."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value

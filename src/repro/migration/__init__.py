@@ -1,0 +1,25 @@
+"""Whole-database migration: per-table synthesis plus key generation."""
+
+from .engine import (
+    MigrationEngine,
+    MigrationError,
+    MigrationResult,
+    MigrationSpec,
+    TableExampleSpec,
+    TableProgram,
+)
+from .keys import ForeignKeyRule, LinkRule, key_of, learn_link_rules, path_extractor
+
+__all__ = [
+    "MigrationEngine",
+    "MigrationError",
+    "MigrationResult",
+    "MigrationSpec",
+    "TableExampleSpec",
+    "TableProgram",
+    "ForeignKeyRule",
+    "LinkRule",
+    "key_of",
+    "learn_link_rules",
+    "path_extractor",
+]

@@ -1,0 +1,338 @@
+"""Whole-database migration (Section 6 and the Table 2 experiment).
+
+The synthesis algorithm of Section 5 converts one document into one relational
+table.  To migrate a dataset into a complete database, Mitra is invoked once
+per target table and a post-processing step generates primary and foreign keys
+so that the resulting database satisfies its key constraints.
+
+This module orchestrates that process:
+
+* :class:`TableExampleSpec` — the per-table input-output example.  Example rows
+  follow the target schema's column order; primary- and foreign-key cells
+  carry *symbolic labels* (e.g. ``"p1"``) that tie referencing rows to
+  referenced rows, while data cells carry actual values from the example
+  document, exactly like the examples a user would write.
+* :class:`MigrationSpec` — the target schema plus one example document shared
+  by the per-table examples.
+* :class:`MigrationEngine` — synthesizes one program per table (data columns
+  only), learns foreign-key link rules from the example labels
+  (:mod:`repro.migration.keys`), and finally executes every program on the
+  full dataset, generating keys and loading a validated
+  :class:`~repro.relational.database.Database`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.ast import Program
+from ..dsl.semantics import NodeTuple
+from ..hdt.node import Scalar
+from ..hdt.tree import HDT
+from ..optimizer.optimize import execute_nodes
+from ..relational.database import Database
+from ..relational.schema import DatabaseSchema, TableSchema
+from ..synthesis.config import DEFAULT_CONFIG, SynthesisConfig
+from ..synthesis.predicate_learner import rows_equal
+from ..synthesis.synthesizer import ExamplePair, SynthesisResult, SynthesisTask, Synthesizer
+from .keys import ForeignKeyRule, key_of, learn_link_rules
+
+
+class MigrationError(Exception):
+    """Raised when a table's program or key rules cannot be learned."""
+
+
+@dataclass
+class TableExampleSpec:
+    """Input-output example for one target table.
+
+    ``rows`` follow the schema's column order.  Cells in the primary-key column
+    and in foreign-key columns are symbolic labels; all other cells are data
+    values appearing in the example document.
+    """
+
+    table: str
+    rows: List[Tuple[Scalar, ...]]
+
+
+@dataclass
+class MigrationSpec:
+    """A complete migration problem: schema, example document, per-table examples."""
+
+    schema: DatabaseSchema
+    example_tree: HDT
+    table_examples: List[TableExampleSpec]
+
+    def example_for(self, table: str) -> TableExampleSpec:
+        for spec in self.table_examples:
+            if spec.table == table:
+                return spec
+        raise MigrationError(f"no example provided for table {table!r}")
+
+
+@dataclass
+class TableProgram:
+    """Everything learned for one target table."""
+
+    schema: TableSchema
+    program: Program
+    synthesis: SynthesisResult
+    data_columns: List[str]
+    foreign_key_rules: List[ForeignKeyRule] = field(default_factory=list)
+    label_to_nodes: Dict[Scalar, NodeTuple] = field(default_factory=dict)
+
+
+@dataclass
+class MigrationResult:
+    """The outcome of a full migration run."""
+
+    database: Database
+    table_programs: Dict[str, TableProgram]
+    synthesis_time: float
+    execution_time: float
+    per_table_synthesis_time: Dict[str, float]
+    per_table_execution_time: Dict[str, float]
+    per_table_rows: Dict[str, int]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.per_table_rows.values())
+
+
+class MigrationEngine:
+    """Synthesize per-table programs and migrate full datasets to a database.
+
+    The default configuration is :meth:`SynthesisConfig.for_migration`, which
+    disables constant predicates: the hidden links of normalized database
+    schemas are structural, and tiny per-table examples would otherwise make
+    constant comparisons look spuriously attractive to the Occam's-razor
+    ranking.
+    """
+
+    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+        self.config = config if config is not None else SynthesisConfig.for_migration()
+        self.synthesizer = Synthesizer(self.config)
+
+    # ------------------------------------------------------------ synthesis
+    def learn(self, spec: MigrationSpec) -> Tuple[Dict[str, TableProgram], Dict[str, float]]:
+        """Learn a program and key rules for every table of the target schema."""
+        programs: Dict[str, TableProgram] = {}
+        per_table_time: Dict[str, float] = {}
+        for table_schema in spec.schema.topological_order():
+            start = time.perf_counter()
+            programs[table_schema.name] = self._learn_table(spec, table_schema, programs)
+            per_table_time[table_schema.name] = time.perf_counter() - start
+        return programs, per_table_time
+
+    def _learn_table(
+        self,
+        spec: MigrationSpec,
+        table_schema: TableSchema,
+        learned: Dict[str, TableProgram],
+    ) -> TableProgram:
+        example = spec.example_for(table_schema.name)
+        data_columns = table_schema.data_columns()
+        column_names = table_schema.column_names
+        data_indices = [column_names.index(c) for c in data_columns]
+        if not data_columns:
+            raise MigrationError(
+                f"table {table_schema.name!r} has no data columns to learn from"
+            )
+
+        data_rows = [tuple(row[i] for i in data_indices) for row in example.rows]
+        task = SynthesisTask(
+            examples=[ExamplePair(spec.example_tree, data_rows)],
+            name=f"table:{table_schema.name}",
+        )
+        result = self.synthesizer.synthesize(task)
+        if not result.success or result.program is None:
+            raise MigrationError(
+                f"failed to synthesize a program for table {table_schema.name!r}: "
+                f"{result.message}"
+            )
+
+        table_program = TableProgram(
+            schema=table_schema,
+            program=result.program,
+            synthesis=result,
+            data_columns=data_columns,
+        )
+        if not table_schema.natural_keys:
+            table_program.label_to_nodes = self._match_example_rows(
+                spec, table_schema, example, result.program, data_indices
+            )
+            table_program.foreign_key_rules = self._learn_foreign_keys(
+                spec, table_schema, example, table_program, learned
+            )
+        return table_program
+
+    def _match_example_rows(
+        self,
+        spec: MigrationSpec,
+        table_schema: TableSchema,
+        example: TableExampleSpec,
+        program: Program,
+        data_indices: List[int],
+    ) -> Dict[Scalar, NodeTuple]:
+        """Associate each example row's primary-key label with its node tuple."""
+        node_rows = execute_nodes(program, spec.example_tree)
+        label_to_nodes: Dict[Scalar, NodeTuple] = {}
+        if table_schema.primary_key is None:
+            return label_to_nodes
+        pk_index = table_schema.column_names.index(table_schema.primary_key)
+        used: set = set()
+        for row in example.rows:
+            expected = tuple(row[i] for i in data_indices)
+            label = row[pk_index]
+            for position, node_row in enumerate(node_rows):
+                if position in used:
+                    continue
+                produced = tuple(node.data for node in node_row)
+                if rows_equal(produced, expected):
+                    label_to_nodes[label] = node_row
+                    used.add(position)
+                    break
+        return label_to_nodes
+
+    def _learn_foreign_keys(
+        self,
+        spec: MigrationSpec,
+        table_schema: TableSchema,
+        example: TableExampleSpec,
+        table_program: TableProgram,
+        learned: Dict[str, TableProgram],
+    ) -> List[ForeignKeyRule]:
+        """Learn one :class:`ForeignKeyRule` per foreign-key column of the table."""
+        rules: List[ForeignKeyRule] = []
+        column_names = table_schema.column_names
+        pk_index = (
+            column_names.index(table_schema.primary_key)
+            if table_schema.primary_key is not None
+            else None
+        )
+        for fk in table_schema.foreign_keys:
+            target_program = learned.get(fk.target_table)
+            if target_program is None:
+                raise MigrationError(
+                    f"table {table_schema.name!r} references {fk.target_table!r}, "
+                    "which has not been learned yet (schema is not topologically ordered)"
+                )
+            fk_index = column_names.index(fk.column)
+            pairs: List[Tuple[NodeTuple, NodeTuple]] = []
+            for row in example.rows:
+                fk_label = row[fk_index]
+                if fk_label is None:
+                    continue
+                if pk_index is None:
+                    continue
+                own_label = row[pk_index]
+                own_nodes = table_program.label_to_nodes.get(own_label)
+                target_nodes = target_program.label_to_nodes.get(fk_label)
+                if own_nodes is None or target_nodes is None:
+                    raise MigrationError(
+                        f"could not align example rows for foreign key "
+                        f"{table_schema.name}.{fk.column} -> {fk.target_table}"
+                    )
+                pairs.append((own_nodes, target_nodes))
+            links = learn_link_rules(pairs)
+            if links is None:
+                raise MigrationError(
+                    f"failed to learn link rules for foreign key "
+                    f"{table_schema.name}.{fk.column} -> {fk.target_table}"
+                )
+            rules.append(ForeignKeyRule(fk.column, fk.target_table, links))
+        return rules
+
+    # ------------------------------------------------------------ execution
+    def migrate(
+        self,
+        spec: MigrationSpec,
+        dataset: HDT,
+        *,
+        validate: bool = True,
+    ) -> MigrationResult:
+        """Learn programs from the examples and run them on the full dataset."""
+        synthesis_start = time.perf_counter()
+        programs, per_table_synthesis = self.learn(spec)
+        synthesis_time = time.perf_counter() - synthesis_start
+
+        database = Database(spec.schema)
+        per_table_execution: Dict[str, float] = {}
+        per_table_rows: Dict[str, int] = {}
+        execution_start = time.perf_counter()
+        for table_schema in spec.schema.topological_order():
+            start = time.perf_counter()
+            count = self._populate_table(database, programs[table_schema.name], dataset)
+            per_table_execution[table_schema.name] = time.perf_counter() - start
+            per_table_rows[table_schema.name] = count
+        execution_time = time.perf_counter() - execution_start
+
+        if validate:
+            database.validate()
+        return MigrationResult(
+            database=database,
+            table_programs=programs,
+            synthesis_time=synthesis_time,
+            execution_time=execution_time,
+            per_table_synthesis_time=per_table_synthesis,
+            per_table_execution_time=per_table_execution,
+            per_table_rows=per_table_rows,
+        )
+
+    def _populate_table(
+        self, database: Database, table_program: TableProgram, dataset: HDT
+    ) -> int:
+        """Run one table's program on the dataset and insert rows with keys."""
+        schema = table_program.schema
+        column_names = schema.column_names
+        data_indices = {
+            name: index for index, name in enumerate(table_program.data_columns)
+        }
+        fk_rules = {rule.column: rule for rule in table_program.foreign_key_rules}
+        node_rows = execute_nodes(table_program.program, dataset)
+        seen_keys: set = set()
+        inserted = 0
+        if schema.natural_keys:
+            seen_rows: set = set()
+            for node_row in node_rows:
+                row = tuple(node_row[data_indices[name]].data for name in column_names)
+                if schema.primary_key is not None:
+                    pk_value = row[column_names.index(schema.primary_key)]
+                    if pk_value in seen_keys:
+                        continue
+                    seen_keys.add(pk_value)
+                elif row in seen_rows:
+                    continue
+                seen_rows.add(row)
+                database.insert(schema.name, row)
+                inserted += 1
+            return inserted
+        seen_content: set = set()
+        for node_row in node_rows:
+            primary_key = key_of(node_row)
+            if schema.primary_key is not None:
+                if primary_key in seen_keys:
+                    continue
+                seen_keys.add(primary_key)
+            row: List[Scalar] = []
+            for name in column_names:
+                if name == schema.primary_key:
+                    row.append(primary_key)
+                elif name in fk_rules:
+                    row.append(fk_rules[name].foreign_key_for(node_row))
+                else:
+                    row.append(node_row[data_indices[name]].data)
+            # Distinct node tuples can denote the same logical row when the
+            # filter predicate relates columns by data value rather than node
+            # identity; collapse them so the surrogate key stays one-per-row.
+            content = tuple(
+                value for name, value in zip(column_names, row) if name != schema.primary_key
+            )
+            if content in seen_content:
+                continue
+            seen_content.add(content)
+            database.insert(schema.name, row)
+            inserted += 1
+        return inserted

@@ -1,0 +1,132 @@
+"""Primary- and foreign-key generation (Section 6, "Handling full-fledged databases").
+
+The paper generates the primary key of a database row from the tree nodes the
+row was constructed from, using an injective function ``f(n1, ..., nk)`` that
+concatenates the nodes' unique identifiers.  A foreign key referencing table
+T' is produced by applying the *same* function to the T' row's defining nodes,
+which are recovered through learned ``(node extractor, source column)`` pairs.
+
+This module implements both pieces:
+
+* :func:`key_of` — the injective key function over node tuples;
+* :func:`path_extractor` — the canonical node extractor mapping one node to
+  another (up to the lowest common ancestor, then down via ``child`` steps),
+  used to learn foreign-key links from examples;
+* :class:`ForeignKeyRule` — the learned per-column extractor rules and their
+  application to full datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..dsl.ast import Child, NodeExtractor, NodeVar, Parent
+from ..dsl.semantics import NodeTuple, eval_node_extractor
+from ..hdt.node import Node
+
+
+def key_of(nodes: Sequence[Node]) -> str:
+    """The injective primary-key function f: concatenation of node identifiers."""
+    return "k" + "_".join(str(node.uid) for node in nodes)
+
+
+def path_extractor(source: Node, target: Node) -> Optional[NodeExtractor]:
+    """The canonical node extractor that maps ``source`` to ``target``.
+
+    The extractor climbs from the source up to the lowest common ancestor of
+    the two nodes and then descends to the target with ``child(tag, pos)``
+    steps.  Returns ``None`` when the nodes live in different trees.
+    """
+    source_path = source.path_from_root()
+    target_path = target.path_from_root()
+    if source_path[0] is not target_path[0]:
+        return None
+    common = 0
+    for a, b in zip(source_path, target_path):
+        if a is b:
+            common += 1
+        else:
+            break
+    extractor: NodeExtractor = NodeVar()
+    for _ in range(len(source_path) - common):
+        extractor = Parent(extractor)
+    for node in target_path[common:]:
+        extractor = Child(extractor, node.tag, node.pos)
+    return extractor
+
+
+@dataclass(frozen=True)
+class LinkRule:
+    """Maps one column of the referencing row to one node of the referenced row."""
+
+    source_column: int
+    extractor: NodeExtractor
+
+    def apply(self, row: NodeTuple) -> Optional[Node]:
+        if self.source_column >= len(row):
+            return None
+        return eval_node_extractor(self.extractor, row[self.source_column])
+
+
+@dataclass
+class ForeignKeyRule:
+    """The learned rule producing a foreign-key value for each row of a table.
+
+    ``links[j]`` recovers the j-th defining node of the referenced table's row;
+    applying :func:`key_of` to the recovered node tuple reproduces exactly the
+    referenced row's primary key.
+    """
+
+    column: str
+    target_table: str
+    links: List[LinkRule]
+
+    def foreign_key_for(self, row: NodeTuple) -> Optional[str]:
+        """Compute the foreign-key value for one referencing row."""
+        recovered: List[Node] = []
+        for link in self.links:
+            node = link.apply(row)
+            if node is None:
+                return None
+            recovered.append(node)
+        return key_of(recovered)
+
+
+def learn_link_rules(
+    pairs: Sequence[Tuple[NodeTuple, NodeTuple]],
+) -> Optional[List[LinkRule]]:
+    """Learn link rules from example (referencing row, referenced row) node tuples.
+
+    For every column j of the referenced row, the learner searches for a source
+    column i of the referencing row and a node extractor χ such that
+    ``χ(referencing[i]) == referenced[j]`` holds for *every* example pair.  The
+    candidate extractor is the canonical path extractor of the first pair,
+    checked against the remaining pairs; among valid candidates the smallest
+    extractor wins.
+
+    Returns ``None`` if some column of the referenced rows cannot be linked.
+    """
+    if not pairs:
+        return None
+    referenced_arity = len(pairs[0][1])
+    referencing_arity = len(pairs[0][0])
+    rules: List[LinkRule] = []
+    for j in range(referenced_arity):
+        best: Optional[LinkRule] = None
+        for i in range(referencing_arity):
+            candidate = path_extractor(pairs[0][0][i], pairs[0][1][j])
+            if candidate is None:
+                continue
+            if not all(
+                eval_node_extractor(candidate, source[i]) is target[j]
+                for source, target in pairs
+            ):
+                continue
+            rule = LinkRule(i, candidate)
+            if best is None or candidate.size() < best.extractor.size():
+                best = rule
+        if best is None:
+            return None
+        rules.append(best)
+    return rules

@@ -1,0 +1,259 @@
+"""Cross-product-free execution of synthesized programs (Section 6, Appendix C).
+
+Programs in the DSL are deliberately written as ``filter(π1 × ... × πk, φ)``,
+which is easy to synthesize but expensive to execute naively: the intermediate
+table is the full cartesian product of the extracted columns.  The paper's
+optimizer avoids materializing that product by using the filter predicate to
+guide table generation.
+
+This module implements the equivalent optimization as a small query planner:
+
+1. the predicate is converted to CNF (:mod:`repro.optimizer.cnf`);
+2. *single-column* clauses are pushed down and applied while scanning the
+   column they mention;
+3. *equi-join* clauses (node-equality between two different columns) are
+   executed as hash joins, joining one column at a time into a growing set of
+   partial tuples;
+4. any residual clauses are applied to the final tuples.
+
+Column extraction is memoized so that columns sharing a prefix (the common
+case after synthesis — e.g. both columns start with ``children(s, Person)``)
+do not re-traverse the document, mirroring the "memoizing shared computations"
+optimization described in Section 1/6 of the paper.
+
+The public entry point :func:`execute` is a drop-in, semantics-preserving
+replacement for :func:`repro.dsl.semantics.run_program`; the ablation benchmark
+``benchmarks/bench_ablation_optimizer.py`` quantifies the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dsl.ast import CompareNodes, Not, Predicate, Program, True_
+from ..dsl.semantics import (
+    DataTuple,
+    NodeTuple,
+    eval_column_on_tree,
+    eval_node_extractor,
+    eval_predicate,
+)
+from ..hdt.node import Node
+from ..hdt.tree import HDT
+from .cnf import (
+    Clause,
+    clause_column,
+    clauses_to_predicate,
+    is_equijoin_clause,
+    is_single_column_clause,
+    to_cnf_clauses,
+)
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled execution strategy for one program."""
+
+    program: Program
+    pushdown: Dict[int, List[Clause]] = field(default_factory=dict)
+    joins: List[CompareNodes] = field(default_factory=list)
+    residual: List[Clause] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable plan summary (used in logs and the ablation report)."""
+        parts = [
+            f"columns={self.program.arity}",
+            f"pushdown_clauses={sum(len(v) for v in self.pushdown.values())}",
+            f"hash_joins={len(self.joins)}",
+            f"residual_clauses={len(self.residual)}",
+        ]
+        return ", ".join(parts)
+
+
+def plan(program: Program) -> ExecutionPlan:
+    """Compile a program into an execution plan."""
+    clauses = to_cnf_clauses(program.predicate)
+    execution = ExecutionPlan(program=program)
+    for clause in clauses:
+        if is_equijoin_clause(clause):
+            execution.joins.append(clause[0])  # type: ignore[arg-type]
+        elif is_single_column_clause(clause):
+            execution.pushdown.setdefault(clause_column(clause), []).append(clause)
+        else:
+            execution.residual.append(clause)
+    return execution
+
+
+def execute(program: Program, tree: HDT) -> List[DataTuple]:
+    """Run a program without materializing the full cross product."""
+    return [tuple(n.data for n in row) for row in execute_nodes(program, tree)]
+
+
+def execute_nodes(program: Program, tree: HDT) -> List[NodeTuple]:
+    """Like :func:`execute` but return node tuples (used by the migration engine)."""
+    execution = plan(program)
+    cache: Dict = {}
+    arity = program.arity
+
+    # ----------------------------------------------------------- column scan
+    columns: List[List[Node]] = []
+    for index, extractor in enumerate(program.table.columns):
+        nodes = eval_column_on_tree(extractor, tree, cache=cache)
+        for clause in execution.pushdown.get(index, []):
+            predicate = clauses_to_predicate([clause])
+            nodes = [
+                node
+                for node in nodes
+                if _eval_single_column(predicate, node, index, arity)
+            ]
+        columns.append(nodes)
+
+    # ------------------------------------------------------------ join order
+    # Start from the column with the fewest candidate nodes, then repeatedly
+    # add the column connected to the current set by a join clause (greedy
+    # left-deep join ordering); disconnected columns are added last via
+    # nested-loop extension.
+    remaining = set(range(arity))
+    order: List[int] = []
+    if remaining:
+        first = min(remaining, key=lambda i: len(columns[i]))
+        order.append(first)
+        remaining.remove(first)
+    while remaining:
+        connected = [
+            i
+            for i in remaining
+            if any(
+                (j.left_column in order and j.right_column == i)
+                or (j.right_column in order and j.left_column == i)
+                for j in execution.joins
+            )
+        ]
+        pool = connected or list(remaining)
+        nxt = min(pool, key=lambda i: len(columns[i]))
+        order.append(nxt)
+        remaining.remove(nxt)
+
+    # --------------------------------------------------------- join execution
+    partial: List[Dict[int, Node]] = [{order[0]: node} for node in columns[order[0]]]
+    bound: Set[int] = {order[0]}
+    for column_index in order[1:]:
+        joins_here = [
+            j
+            for j in execution.joins
+            if (j.left_column in bound and j.right_column == column_index)
+            or (j.right_column in bound and j.left_column == column_index)
+        ]
+        if joins_here:
+            partial = _hash_join(partial, columns[column_index], column_index, joins_here)
+        else:
+            partial = [
+                {**assignment, column_index: node}
+                for assignment in partial
+                for node in columns[column_index]
+            ]
+        bound.add(column_index)
+
+    # ------------------------------------------------------------- residual
+    residual_predicate = clauses_to_predicate(execution.residual)
+    # Join clauses that involve columns joined via other equalities may be
+    # subsumed; re-check every join clause on the final tuples to stay safe
+    # when a column participates in multiple joins.
+    results: List[NodeTuple] = []
+    for assignment in partial:
+        row = tuple(assignment[i] for i in range(arity))
+        if not isinstance(residual_predicate, True_) and not eval_predicate(
+            residual_predicate, row
+        ):
+            continue
+        if all(eval_predicate(j, row) for j in execution.joins):
+            results.append(row)
+    return results
+
+
+def _eval_single_column(predicate: Predicate, node: Node, column: int, arity: int) -> bool:
+    """Evaluate a single-column clause by placing the node at its column slot."""
+    row = tuple(node if i == column else node for i in range(arity))
+    # Every literal in the clause references `column` only, so filling the
+    # other slots with the same node is sound: they are never inspected.
+    return eval_predicate(predicate, row)
+
+
+def _join_key(
+    join: CompareNodes, node: Node, *, left_side: bool
+) -> Optional[Tuple]:
+    """Hash key of a node under one side of an equi-join clause.
+
+    Leaf targets hash by their data value; internal targets hash by node
+    identity (matching the node-equality semantics of Figure 7).
+    """
+    extractor = join.left_extractor if left_side else join.right_extractor
+    target = eval_node_extractor(extractor, node)
+    if target is None:
+        return None
+    if target.is_leaf():
+        return ("data", _canonical(target.data))
+    return ("node", target.uid)
+
+
+def _canonical(value):
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", float(value))
+    return ("s", value)
+
+
+def _hash_join(
+    partial: List[Dict[int, Node]],
+    new_nodes: Sequence[Node],
+    new_column: int,
+    joins: Sequence[CompareNodes],
+) -> List[Dict[int, Node]]:
+    """Join partial assignments with a new column on the given equality clauses."""
+    # Build the hash index over the new column using the composite key of all
+    # applicable join clauses.
+    def new_node_key(node: Node) -> Optional[Tuple]:
+        parts = []
+        for join in joins:
+            # If the new column is the right operand of the clause, its key
+            # comes from the right extractor; otherwise from the left one.
+            on_right = join.right_column == new_column
+            key = _join_key(join, node, left_side=not on_right)
+            if key is None:
+                return None
+            parts.append(key)
+        return tuple(parts)
+
+    index: Dict[Tuple, List[Node]] = {}
+    for node in new_nodes:
+        key = new_node_key(node)
+        if key is None:
+            continue
+        index.setdefault(key, []).append(node)
+
+    def partial_key(assignment: Dict[int, Node]) -> Optional[Tuple]:
+        parts = []
+        for join in joins:
+            if join.right_column == new_column:
+                bound_node = assignment[join.left_column]
+                key = _join_key(join, bound_node, left_side=True)
+            else:
+                bound_node = assignment[join.right_column]
+                key = _join_key(join, bound_node, left_side=False)
+            if key is None:
+                return None
+            parts.append(key)
+        return tuple(parts)
+
+    joined: List[Dict[int, Node]] = []
+    for assignment in partial:
+        key = partial_key(assignment)
+        if key is None:
+            continue
+        for node in index.get(key, []):
+            extended = dict(assignment)
+            extended[new_column] = node
+            joined.append(extended)
+    return joined

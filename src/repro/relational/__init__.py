@@ -1,0 +1,18 @@
+"""Relational substrate: tables, schemas with keys, and an in-memory database."""
+
+from .database import Database, IntegrityError
+from .schema import ColumnDef, DatabaseSchema, ForeignKey, SchemaError, TableSchema
+from .table import Row, Table, TableError
+
+__all__ = [
+    "Database",
+    "IntegrityError",
+    "ColumnDef",
+    "DatabaseSchema",
+    "ForeignKey",
+    "SchemaError",
+    "TableSchema",
+    "Row",
+    "Table",
+    "TableError",
+]

@@ -1,0 +1,166 @@
+"""An in-memory relational database with constraint enforcement.
+
+The migration experiments of the paper (Table 2) load the synthesized
+programs' output into a full relational database and rely on primary- and
+foreign-key constraints being respected.  This class provides that substrate:
+
+* one :class:`~repro.relational.table.Table` per :class:`TableSchema`,
+* insertion with primary-key uniqueness, NOT NULL and type checks,
+* referential-integrity validation of foreign keys,
+* simple lookup helpers and SQL/CSV export hooks used by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..hdt.node import Scalar
+from .schema import DatabaseSchema, SchemaError, TableSchema
+from .table import Row, Table, TableError
+
+
+class IntegrityError(Exception):
+    """Raised when an insert or validation violates a database constraint."""
+
+
+@dataclass
+class Database:
+    """An in-memory database instance conforming to a :class:`DatabaseSchema`."""
+
+    schema: DatabaseSchema
+    tables: Dict[str, Table] = field(default_factory=dict)
+    _primary_keys: Dict[str, Set[Scalar]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for table_schema in self.schema.tables:
+            if table_schema.name not in self.tables:
+                self.tables[table_schema.name] = Table(
+                    table_schema.name, table_schema.column_names, []
+                )
+            self._primary_keys.setdefault(table_schema.name, set())
+            existing = self.tables[table_schema.name]
+            if table_schema.primary_key is not None:
+                idx = existing.column_index(table_schema.primary_key)
+                self._primary_keys[table_schema.name] = {r[idx] for r in existing.rows}
+
+    # --------------------------------------------------------------- insert
+    def insert(self, table_name: str, row: Sequence[Scalar]) -> None:
+        """Insert one row, enforcing arity, types, NOT NULL and primary key."""
+        table_schema = self.schema.table(table_name)
+        table = self.tables[table_name]
+        values = tuple(row)
+        if len(values) != table_schema.arity:
+            raise IntegrityError(
+                f"row arity {len(values)} does not match table {table_name!r} "
+                f"({table_schema.arity} columns)"
+            )
+        for column, value in zip(table_schema.columns, values):
+            if value is None:
+                if not column.nullable or column.name == table_schema.primary_key:
+                    raise IntegrityError(
+                        f"NULL value for non-nullable column {table_name}.{column.name}"
+                    )
+                continue
+            if column.dtype == "integer" and not isinstance(value, (int, bool)):
+                if not (isinstance(value, float) and value.is_integer()):
+                    if not _looks_like_int(value):
+                        raise IntegrityError(
+                            f"non-integer value {value!r} for column {table_name}.{column.name}"
+                        )
+            if column.dtype == "real" and not isinstance(value, (int, float)):
+                if not _looks_like_float(value):
+                    raise IntegrityError(
+                        f"non-numeric value {value!r} for column {table_name}.{column.name}"
+                    )
+        if table_schema.primary_key is not None:
+            pk_index = table.column_index(table_schema.primary_key)
+            pk_value = values[pk_index]
+            if pk_value in self._primary_keys[table_name]:
+                raise IntegrityError(
+                    f"duplicate primary key {pk_value!r} in table {table_name!r}"
+                )
+            self._primary_keys[table_name].add(pk_value)
+        table.insert(values)
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Scalar]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    # -------------------------------------------------------------- queries
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise TableError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def row_count(self, name: Optional[str] = None) -> int:
+        """Rows of one table, or of the whole database when ``name`` is None."""
+        if name is not None:
+            return len(self.table(name))
+        return sum(len(t) for t in self.tables.values())
+
+    def lookup(self, table_name: str, column: str, value: Scalar) -> List[Row]:
+        """All rows of a table whose ``column`` equals ``value``."""
+        table = self.table(table_name)
+        idx = table.column_index(column)
+        return [row for row in table.rows if row[idx] == value]
+
+    # ----------------------------------------------------------- validation
+    def validate_foreign_keys(self) -> List[str]:
+        """Check referential integrity; return a list of violation messages."""
+        violations: List[str] = []
+        for table_schema in self.schema.tables:
+            table = self.tables[table_schema.name]
+            for fk in table_schema.foreign_keys:
+                source_idx = table.column_index(fk.column)
+                target_table = self.tables[fk.target_table]
+                target_idx = target_table.column_index(fk.target_column)
+                targets = {row[target_idx] for row in target_table.rows}
+                for row in table.rows:
+                    value = row[source_idx]
+                    if value is None:
+                        continue
+                    if value not in targets:
+                        violations.append(
+                            f"{table_schema.name}.{fk.column}={value!r} has no match in "
+                            f"{fk.target_table}.{fk.target_column}"
+                        )
+        return violations
+
+    def validate(self) -> None:
+        """Raise :class:`IntegrityError` if any foreign-key constraint is violated."""
+        violations = self.validate_foreign_keys()
+        if violations:
+            preview = "; ".join(violations[:5])
+            raise IntegrityError(
+                f"{len(violations)} foreign-key violations (first: {preview})"
+            )
+
+    # ------------------------------------------------------------------ I/O
+    def summary(self) -> Dict[str, int]:
+        """Row counts per table (used by the Table 2 harness)."""
+        return {name: len(table) for name, table in self.tables.items()}
+
+    def to_csv_files(self) -> Dict[str, str]:
+        """Render every table as CSV text, keyed by table name."""
+        return {name: table.to_csv() for name, table in self.tables.items()}
+
+
+def _looks_like_int(value: Scalar) -> bool:
+    try:
+        int(str(value))
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def _looks_like_float(value: Scalar) -> bool:
+    try:
+        float(str(value))
+        return True
+    except (TypeError, ValueError):
+        return False

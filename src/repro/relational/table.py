@@ -1,0 +1,211 @@
+"""Relational tables.
+
+The paper represents relational tables as bags of tuples.  This module
+provides a small but complete in-memory table abstraction used throughout the
+reproduction: output examples are tables, synthesized programs produce tables,
+and the migration engine loads tables into a :class:`~repro.relational.database.Database`.
+
+Beyond storage, the class offers the relational-algebra operations the test
+suite and examples rely on (projection, selection, cross product, natural and
+equi-joins, distinct, rename, union) plus CSV import/export.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..hdt.node import Scalar
+
+Row = Tuple[Scalar, ...]
+
+
+class TableError(Exception):
+    """Raised on malformed table operations (arity mismatch, unknown column...)."""
+
+
+@dataclass
+class Table:
+    """A named relational table: an ordered list of column names and a bag of rows."""
+
+    name: str
+    columns: List[str]
+    rows: List[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise TableError(f"duplicate column names in table {self.name!r}")
+        self.rows = [self._check_row(tuple(row)) for row in self.rows]
+
+    # ------------------------------------------------------------- mutation
+    def _check_row(self, row: Row) -> Row:
+        if len(row) != len(self.columns):
+            raise TableError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"with {len(self.columns)} columns"
+            )
+        return row
+
+    def insert(self, row: Sequence[Scalar]) -> None:
+        """Append one row (arity-checked)."""
+        self.rows.append(self._check_row(tuple(row)))
+
+    def insert_many(self, rows: Iterable[Sequence[Scalar]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError as error:
+            raise TableError(f"unknown column {column!r} in table {self.name!r}") from error
+
+    def column_values(self, column: str) -> List[Scalar]:
+        """All values of one column (with duplicates, in row order)."""
+        idx = self.column_index(column)
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Scalar]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def contains_row(self, row: Sequence[Scalar]) -> bool:
+        """Exact membership test."""
+        return tuple(row) in set(self.rows)
+
+    # --------------------------------------------------- relational algebra
+    def project(self, columns: Sequence[str], *, name: Optional[str] = None) -> "Table":
+        """Projection onto the given columns (bag semantics, keeps duplicates)."""
+        indices = [self.column_index(c) for c in columns]
+        projected = [tuple(row[i] for i in indices) for row in self.rows]
+        return Table(name or f"{self.name}_proj", list(columns), projected)
+
+    def select(self, condition: Callable[[Dict[str, Scalar]], bool], *, name: Optional[str] = None) -> "Table":
+        """Selection by an arbitrary row predicate over named values."""
+        kept = [row for row in self.rows if condition(dict(zip(self.columns, row)))]
+        return Table(name or f"{self.name}_sel", list(self.columns), kept)
+
+    def distinct(self, *, name: Optional[str] = None) -> "Table":
+        """Duplicate elimination, preserving first-occurrence order."""
+        seen = set()
+        unique: List[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return Table(name or f"{self.name}_distinct", list(self.columns), unique)
+
+    def rename(self, mapping: Dict[str, str], *, name: Optional[str] = None) -> "Table":
+        """Rename columns according to ``mapping`` (missing names unchanged)."""
+        renamed = [mapping.get(c, c) for c in self.columns]
+        return Table(name or self.name, renamed, list(self.rows))
+
+    def cross(self, other: "Table", *, name: Optional[str] = None) -> "Table":
+        """Cartesian product; column-name clashes get the other table's prefix."""
+        other_columns = [
+            c if c not in self.columns else f"{other.name}.{c}" for c in other.columns
+        ]
+        rows = [left + right for left in self.rows for right in other.rows]
+        return Table(name or f"{self.name}_x_{other.name}", self.columns + other_columns, rows)
+
+    def equi_join(
+        self,
+        other: "Table",
+        left_column: str,
+        right_column: str,
+        *,
+        name: Optional[str] = None,
+    ) -> "Table":
+        """Hash equi-join on one column pair."""
+        left_idx = self.column_index(left_column)
+        right_idx = other.column_index(right_column)
+        index: Dict[Scalar, List[Row]] = {}
+        for row in other.rows:
+            index.setdefault(row[right_idx], []).append(row)
+        other_columns = [
+            c if c not in self.columns else f"{other.name}.{c}" for c in other.columns
+        ]
+        rows = [
+            left + right
+            for left in self.rows
+            for right in index.get(left[left_idx], [])
+        ]
+        return Table(name or f"{self.name}_join_{other.name}", self.columns + other_columns, rows)
+
+    def union(self, other: "Table", *, name: Optional[str] = None) -> "Table":
+        """Bag union of two tables with identical arity."""
+        if self.arity != other.arity:
+            raise TableError("union requires tables of the same arity")
+        return Table(name or f"{self.name}_union", list(self.columns), self.rows + other.rows)
+
+    def order_by(self, column: str, *, descending: bool = False, name: Optional[str] = None) -> "Table":
+        """Rows sorted by one column (None sorts first)."""
+        idx = self.column_index(column)
+        ordered = sorted(
+            self.rows,
+            key=lambda row: (row[idx] is not None, str(row[idx])),
+            reverse=descending,
+        )
+        return Table(name or self.name, list(self.columns), ordered)
+
+    def group_count(self, column: str) -> Dict[Scalar, int]:
+        """Value frequencies of one column (a tiny GROUP BY ... COUNT(*))."""
+        counts: Dict[Scalar, int] = {}
+        for value in self.column_values(column):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ I/O
+    def to_csv(self) -> str:
+        """Render the table as CSV text (header + rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(["" if v is None else v for v in row])
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, name: str, text: str) -> "Table":
+        """Parse CSV text produced by :meth:`to_csv`."""
+        reader = csv.reader(io.StringIO(text))
+        lines = list(reader)
+        if not lines:
+            raise TableError("empty CSV input")
+        header, data = lines[0], lines[1:]
+        return cls(name, header, [tuple(row) for row in data])
+
+    @classmethod
+    def from_rows(cls, name: str, columns: Sequence[str], rows: Iterable[Sequence[Scalar]]) -> "Table":
+        """Build a table from an iterable of row sequences."""
+        return cls(name, list(columns), [tuple(r) for r in rows])
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """ASCII rendering for docs and examples."""
+        widths = [len(c) for c in self.columns]
+        shown = self.rows[:max_rows]
+        for row in shown:
+            for i, value in enumerate(row):
+                widths[i] = max(widths[i], len(str(value)))
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        divider = "-+-".join("-" * w for w in widths)
+        lines = [header, divider]
+        for row in shown:
+            lines.append(" | ".join(str(v).ljust(widths[i]) for i, v in enumerate(row)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

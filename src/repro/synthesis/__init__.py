@@ -1,0 +1,69 @@
+"""The synthesis core: column learning, predicate learning, top-level search."""
+
+from .baseline import BaselineSynthesizer, enumerate_column_extractors
+from .column_learner import (
+    ColumnLearningError,
+    construct_dfa,
+    extractor_to_word,
+    learn_column_extractors,
+    word_to_extractor,
+)
+from .config import DEFAULT_CONFIG, SynthesisConfig
+from .predicate_learner import (
+    PredicateLearningStats,
+    check_program,
+    classify_tuples,
+    learn_predicate,
+    row_in_table,
+    rows_equal,
+)
+from .predicate_universe import construct_predicate_universe, valid_node_extractors
+from .qm import minimize, prime_implicants
+from .set_cover import (
+    CoverError,
+    branch_and_bound_cover,
+    greedy_cover,
+    ilp_cover,
+    minimum_cover,
+)
+from .synthesizer import (
+    ExamplePair,
+    SynthesisError,
+    SynthesisResult,
+    SynthesisTask,
+    Synthesizer,
+    synthesize,
+)
+
+__all__ = [
+    "BaselineSynthesizer",
+    "enumerate_column_extractors",
+    "ColumnLearningError",
+    "construct_dfa",
+    "extractor_to_word",
+    "learn_column_extractors",
+    "word_to_extractor",
+    "DEFAULT_CONFIG",
+    "SynthesisConfig",
+    "PredicateLearningStats",
+    "check_program",
+    "classify_tuples",
+    "learn_predicate",
+    "row_in_table",
+    "rows_equal",
+    "construct_predicate_universe",
+    "valid_node_extractors",
+    "minimize",
+    "prime_implicants",
+    "CoverError",
+    "branch_and_bound_cover",
+    "greedy_cover",
+    "ilp_cover",
+    "minimum_cover",
+    "ExamplePair",
+    "SynthesisError",
+    "SynthesisResult",
+    "SynthesisTask",
+    "Synthesizer",
+    "synthesize",
+]

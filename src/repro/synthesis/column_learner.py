@@ -1,0 +1,218 @@
+"""Learning column extraction programs with deterministic finite automata.
+
+This module implements Algorithm 2 and the DFA construction rules of Figure 9:
+
+* :func:`construct_dfa` builds, for a single (tree, column) example, a DFA whose
+  states are *sets of HDT nodes* reachable from ``{root}`` by applying DSL
+  operators, whose alphabet symbols are the instantiated operators
+  ``children_tag`` / ``pchildren_tag,pos`` / ``descendants_tag``, and whose
+  accepting states are exactly the node sets that cover the target column
+  (rule (5): ``s ⊇ column(R, i)``).
+* :func:`learn_column_extractors` intersects the per-example DFAs and
+  enumerates accepted words shortest-first, converting each word into a column
+  extractor AST.
+
+A word ``(f1, f2, ..., fm)`` corresponds to the extractor
+``fm(... f2(f1(s)) ...)`` applied to ``{root(τ)}``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..automata.dfa import DFA, intersect_all
+from ..dsl.ast import Children, ColumnExtractor, Descendants, PChildren, Var
+from ..dsl.semantics import compare_values, _dedupe
+from ..hdt.node import Node, Scalar
+from ..hdt.tree import HDT
+from .config import DEFAULT_CONFIG, SynthesisConfig
+from ..dsl.ast import Op
+
+# Alphabet symbols.  Using plain tuples keeps them hashable and comparable.
+CHILDREN = "children"
+PCHILDREN = "pchildren"
+DESCENDANTS = "descendants"
+
+Symbol = Tuple
+
+
+class ColumnLearningError(Exception):
+    """Raised when no column extractor consistent with the examples exists."""
+
+
+def _alphabet_for_tree(tree: HDT) -> List[Symbol]:
+    """All operator symbols instantiated with tags/positions present in the tree."""
+    symbols: List[Symbol] = []
+    tags = tree.tags()
+    for tag in tags:
+        symbols.append((CHILDREN, tag))
+        symbols.append((DESCENDANTS, tag))
+    for tag in tags:
+        for pos in tree.positions_for_tag(tag):
+            symbols.append((PCHILDREN, tag, pos))
+    return symbols
+
+
+def _apply_symbol(symbol: Symbol, nodes: Sequence[Node]) -> List[Node]:
+    """Apply one instantiated operator to an ordered set of nodes."""
+    kind = symbol[0]
+    if kind == CHILDREN:
+        tag = symbol[1]
+        return _dedupe(c for n in nodes for c in n.children_with_tag(tag))
+    if kind == PCHILDREN:
+        tag, pos = symbol[1], symbol[2]
+        out: List[Node] = []
+        for n in nodes:
+            child = n.child_with(tag, pos)
+            if child is not None:
+                out.append(child)
+        return _dedupe(out)
+    if kind == DESCENDANTS:
+        tag = symbol[1]
+        return _dedupe(d for n in nodes for d in n.descendants_with_tag(tag))
+    raise ValueError(f"unknown symbol kind: {kind!r}")
+
+
+def _covers_column(nodes: Sequence[Node], column_values: Sequence[Scalar]) -> bool:
+    """Rule (5): does the node set cover every value of the output column?"""
+    for value in column_values:
+        if not any(compare_values(node.data, Op.EQ, value) for node in nodes):
+            return False
+    return True
+
+
+def construct_dfa(
+    tree: HDT,
+    column_values: Sequence[Scalar],
+    config: SynthesisConfig = DEFAULT_CONFIG,
+) -> DFA:
+    """Build the DFA of Figure 9 for one (tree, column) example.
+
+    States are frozensets of node uids; the uid → node mapping is recovered
+    through the tree.  Exploration is breadth-first from ``{root}`` and bounded
+    by ``config.max_dfa_states`` and ``config.max_column_program_length``.
+    Transitions whose result set is empty are pruned (an empty set can never
+    cover a non-empty column, and keeping them would blow up the automaton).
+    """
+    alphabet = _alphabet_for_tree(tree)
+    uid_to_node = {n.uid: n for n in tree.nodes()}
+
+    initial: FrozenSet[int] = frozenset({tree.root.uid})
+    states: Set[FrozenSet[int]] = {initial}
+    transitions: Dict[Tuple[FrozenSet[int], Symbol], FrozenSet[int]] = {}
+    accepting: Set[FrozenSet[int]] = set()
+
+    def nodes_of(state: FrozenSet[int]) -> List[Node]:
+        return sorted((uid_to_node[uid] for uid in state), key=lambda n: n.uid)
+
+    if _covers_column(nodes_of(initial), column_values):
+        accepting.add(initial)
+
+    frontier: deque = deque([(initial, 0)])
+    while frontier:
+        state, depth = frontier.popleft()
+        if depth >= config.max_column_program_length:
+            continue
+        current_nodes = nodes_of(state)
+        for symbol in alphabet:
+            result = _apply_symbol(symbol, current_nodes)
+            if not result:
+                continue
+            new_state = frozenset(n.uid for n in result)
+            if new_state not in states:
+                if len(states) >= config.max_dfa_states:
+                    continue
+                states.add(new_state)
+                if _covers_column(result, column_values):
+                    accepting.add(new_state)
+                frontier.append((new_state, depth + 1))
+            transitions[(state, symbol)] = new_state
+
+    dfa = DFA(
+        states=states,
+        alphabet=set(alphabet),
+        transitions=transitions,
+        initial=initial,
+        accepting=accepting,
+    )
+    return dfa.prune()
+
+
+def word_to_extractor(word: Sequence[Symbol]) -> ColumnExtractor:
+    """Convert a DFA word into the corresponding column extractor AST."""
+    extractor: ColumnExtractor = Var()
+    for symbol in word:
+        kind = symbol[0]
+        if kind == CHILDREN:
+            extractor = Children(extractor, symbol[1])
+        elif kind == PCHILDREN:
+            extractor = PChildren(extractor, symbol[1], symbol[2])
+        elif kind == DESCENDANTS:
+            extractor = Descendants(extractor, symbol[1])
+        else:
+            raise ValueError(f"unknown symbol kind: {kind!r}")
+    return extractor
+
+
+def extractor_to_word(extractor: ColumnExtractor) -> Tuple[Symbol, ...]:
+    """Inverse of :func:`word_to_extractor` (useful for tests and debugging)."""
+    symbols: List[Symbol] = []
+    current = extractor
+    while not isinstance(current, Var):
+        if isinstance(current, Children):
+            symbols.append((CHILDREN, current.tag))
+        elif isinstance(current, PChildren):
+            symbols.append((PCHILDREN, current.tag, current.pos))
+        elif isinstance(current, Descendants):
+            symbols.append((DESCENDANTS, current.tag))
+        else:
+            raise ValueError(f"unknown column extractor: {current!r}")
+        current = current.source
+    symbols.reverse()
+    return tuple(symbols)
+
+
+def learn_column_extractors(
+    examples: Sequence[Tuple[HDT, Sequence[Scalar]]],
+    config: SynthesisConfig = DEFAULT_CONFIG,
+) -> List[ColumnExtractor]:
+    """Algorithm 2: learn the set of column extractors consistent with all examples.
+
+    Parameters
+    ----------
+    examples:
+        A list of ``(tree, column_values)`` pairs — one entry per input-output
+        example, where ``column_values`` is the i-th column of the output table.
+
+    Returns
+    -------
+    A list of column extractor ASTs, ordered from simplest (shortest) to most
+    complex, at most ``config.max_column_programs`` long.
+
+    Raises
+    ------
+    ColumnLearningError
+        If no column extractor consistent with every example exists within the
+        configured bounds.
+    """
+    if not examples:
+        raise ValueError("at least one example is required")
+
+    automata = [construct_dfa(tree, column, config) for tree, column in examples]
+    combined = intersect_all(automata)
+    if combined.is_empty():
+        raise ColumnLearningError(
+            "no column extraction program is consistent with all examples"
+        )
+    words = combined.enumerate_words(
+        max_length=config.max_column_program_length,
+        max_words=config.max_column_programs,
+    )
+    if not words:
+        raise ColumnLearningError(
+            "no column extraction program found within the length bound"
+        )
+    extractors = [word_to_extractor(word) for word in words]
+    extractors.sort(key=lambda e: (e.size(), repr(e)))
+    return extractors

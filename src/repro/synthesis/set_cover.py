@@ -1,0 +1,214 @@
+"""Minimum set cover / 0-1 ILP solvers used by the predicate learner.
+
+Algorithm 4 of the paper (``FindMinCover``) selects a *minimum* subset of
+atomic predicates such that every (positive, negative) example pair is
+distinguished by at least one selected predicate.  That optimization problem is
+a 0-1 integer linear program which is exactly weighted set cover:
+
+* elements  — the (positive, negative) example pairs,
+* sets      — one per candidate predicate, containing the pairs it distinguishes,
+* objective — minimize the number of selected sets.
+
+Three strategies are provided and selected through
+:class:`~repro.synthesis.config.SynthesisConfig.cover_strategy`:
+
+* ``ilp``               — scipy's MILP solver (HiGHS) on the 0-1 formulation;
+* ``branch_and_bound``  — an exact, dependency-free solver with greedy
+  upper bounds and element-based branching (used for small universes);
+* ``greedy``            — the classic ln(n)-approximation, used as a fallback
+  for very large instances and by the ablation benchmarks.
+
+All solvers return indices of the selected sets.  ``minimum_cover`` is the
+strategy-dispatching entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+import numpy as np
+
+try:  # scipy is an install dependency, but keep the import robust.
+    from scipy.optimize import LinearConstraint, milp
+    from scipy.sparse import csr_matrix
+
+    _HAVE_SCIPY_MILP = True
+except Exception:  # pragma: no cover - environment without scipy
+    _HAVE_SCIPY_MILP = False
+
+
+class CoverError(Exception):
+    """Raised when no cover exists (some element is contained in no set)."""
+
+
+def _check_coverable(sets: Sequence[FrozenSet[int]], universe: FrozenSet[int]) -> None:
+    covered: Set[int] = set()
+    for s in sets:
+        covered |= s
+    missing = universe - covered
+    if missing:
+        raise CoverError(f"{len(missing)} elements cannot be covered by any set")
+
+
+def _normalize(sets: Sequence[Set[int]]) -> List[FrozenSet[int]]:
+    return [frozenset(s) for s in sets]
+
+
+# --------------------------------------------------------------------------- #
+# Greedy approximation
+# --------------------------------------------------------------------------- #
+
+
+def greedy_cover(sets: Sequence[Set[int]], universe: Set[int]) -> List[int]:
+    """Classic greedy set cover: repeatedly take the set covering most remaining."""
+    normalized = _normalize(sets)
+    target = frozenset(universe)
+    _check_coverable(normalized, target)
+    remaining = set(target)
+    chosen: List[int] = []
+    while remaining:
+        best_idx = -1
+        best_gain = 0
+        for idx, s in enumerate(normalized):
+            gain = len(s & remaining)
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = idx
+        if best_idx < 0:  # pragma: no cover - guarded by _check_coverable
+            raise CoverError("greedy cover failed to make progress")
+        chosen.append(best_idx)
+        remaining -= normalized[best_idx]
+    return chosen
+
+
+# --------------------------------------------------------------------------- #
+# Exact branch and bound
+# --------------------------------------------------------------------------- #
+
+
+def branch_and_bound_cover(
+    sets: Sequence[Set[int]], universe: Set[int], *, max_nodes: int = 200_000
+) -> List[int]:
+    """Exact minimum set cover by branch and bound.
+
+    Branches on the uncovered element contained in the fewest sets (the most
+    constrained element), uses the greedy solution as the initial upper bound,
+    and prunes with a simple lower bound (ceil of remaining / largest set).
+    ``max_nodes`` caps the search; if exceeded, the best solution found so far
+    (at worst the greedy one) is returned, which keeps the solver total.
+    """
+    normalized = _normalize(sets)
+    target = frozenset(universe)
+    _check_coverable(normalized, target)
+
+    best = greedy_cover(sets, set(universe))
+    best_size = len(best)
+
+    # element -> indices of sets containing it
+    containing: Dict[int, List[int]] = {e: [] for e in target}
+    for idx, s in enumerate(normalized):
+        for e in s:
+            if e in containing:
+                containing[e].append(idx)
+
+    max_set_size = max((len(s) for s in normalized), default=1) or 1
+    nodes_visited = 0
+
+    def lower_bound(remaining: FrozenSet[int]) -> int:
+        return -(-len(remaining) // max_set_size)  # ceiling division
+
+    def search(remaining: FrozenSet[int], chosen: List[int]) -> None:
+        nonlocal best, best_size, nodes_visited
+        nodes_visited += 1
+        if nodes_visited > max_nodes:
+            return
+        if not remaining:
+            if len(chosen) < best_size:
+                best = list(chosen)
+                best_size = len(chosen)
+            return
+        if len(chosen) + lower_bound(remaining) >= best_size:
+            return
+        # most constrained uncovered element
+        pivot = min(remaining, key=lambda e: len(containing[e]))
+        for idx in containing[pivot]:
+            search(remaining - normalized[idx], chosen + [idx])
+
+    search(target, [])
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# 0-1 ILP via scipy
+# --------------------------------------------------------------------------- #
+
+
+def ilp_cover(sets: Sequence[Set[int]], universe: Set[int]) -> List[int]:
+    """Solve minimum set cover as a 0-1 integer linear program (HiGHS)."""
+    normalized = _normalize(sets)
+    elements = sorted(universe)
+    target = frozenset(elements)
+    _check_coverable(normalized, target)
+    if not elements:
+        return []
+    if not _HAVE_SCIPY_MILP:  # pragma: no cover - environment without scipy
+        return branch_and_bound_cover(sets, set(universe))
+
+    element_index = {e: i for i, e in enumerate(elements)}
+    rows, cols = [], []
+    for set_idx, s in enumerate(normalized):
+        for e in s:
+            if e in element_index:
+                rows.append(element_index[e])
+                cols.append(set_idx)
+    data = np.ones(len(rows))
+    matrix = csr_matrix((data, (rows, cols)), shape=(len(elements), len(normalized)))
+
+    objective = np.ones(len(normalized))
+    constraint = LinearConstraint(matrix, lb=np.ones(len(elements)), ub=np.inf)
+    result = milp(
+        c=objective,
+        constraints=[constraint],
+        integrality=np.ones(len(normalized)),
+        bounds=None,
+    )
+    if not result.success or result.x is None:  # pragma: no cover - solver hiccup
+        return branch_and_bound_cover(sets, set(universe))
+    return [idx for idx, val in enumerate(result.x) if val > 0.5]
+
+
+# --------------------------------------------------------------------------- #
+# Dispatch
+# --------------------------------------------------------------------------- #
+
+
+def minimum_cover(
+    sets: Sequence[Set[int]],
+    universe: Set[int],
+    *,
+    strategy: str = "auto",
+    exact_limit: int = 26,
+) -> List[int]:
+    """Select a minimum (or near-minimum) family of sets covering ``universe``.
+
+    ``strategy`` is one of ``auto``, ``ilp``, ``branch_and_bound``, ``greedy``.
+    ``auto`` uses exact branch and bound for small instances and the ILP solver
+    otherwise; ``greedy`` is only approximate and exists for ablations and as a
+    last-resort fallback.
+    """
+    if not universe:
+        return []
+    if strategy == "greedy":
+        return greedy_cover(sets, universe)
+    if strategy == "branch_and_bound":
+        return branch_and_bound_cover(sets, universe)
+    if strategy == "ilp":
+        return ilp_cover(sets, universe)
+    if strategy != "auto":
+        raise ValueError(f"unknown cover strategy: {strategy!r}")
+    # auto
+    if len(sets) <= exact_limit:
+        return branch_and_bound_cover(sets, universe)
+    if _HAVE_SCIPY_MILP:
+        return ilp_cover(sets, universe)
+    return greedy_cover(sets, universe)  # pragma: no cover - no scipy fallback

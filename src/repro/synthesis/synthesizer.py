@@ -1,0 +1,275 @@
+"""Top-level synthesis algorithm (Algorithm 1 of the paper).
+
+:class:`Synthesizer` learns a DSL program ``λτ. filter(π1 × ... × πk, λt. φ)``
+from input-output examples ``{T1 → R1, ..., Tm → Rm}``:
+
+1. for every output column j, learn the set Πj of candidate column extractors
+   with the DFA-based learner (Section 5.1);
+2. enumerate candidate table extractors ψ ∈ Π1 × ... × Πk in order of
+   increasing extractor cost;
+3. for each ψ, try to learn a filtering predicate φ (Section 5.2); every
+   success yields a candidate program;
+4. return the program minimizing the simplicity cost θ (Occam's razor).
+
+The module also defines :class:`SynthesisTask` (an input-output specification)
+and :class:`SynthesisResult` (the learned program plus diagnostics), which the
+benchmark suite and evaluation harness build upon.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.ast import Predicate, Program, TableExtractor, True_
+from ..dsl.cost import program_cost
+from ..dsl.pretty import pretty_program
+from ..dsl.semantics import eval_column_on_tree, run_program
+from ..hdt.node import Scalar
+from ..hdt.tree import HDT
+from .column_learner import ColumnLearningError, learn_column_extractors
+from .config import DEFAULT_CONFIG, SynthesisConfig
+from .predicate_learner import (
+    PredicateLearningStats,
+    check_program,
+    learn_predicate,
+    row_in_table,
+)
+
+Row = Tuple[Scalar, ...]
+
+
+class SynthesisError(Exception):
+    """Raised when no DSL program consistent with the examples can be found."""
+
+
+@dataclass
+class ExamplePair:
+    """One input-output example: a document (HDT) and the desired table rows."""
+
+    tree: HDT
+    rows: List[Row]
+
+    @property
+    def arity(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+
+@dataclass
+class SynthesisTask:
+    """A complete synthesis problem: one or more input-output examples."""
+
+    examples: List[ExamplePair]
+    name: str = "task"
+
+    def __post_init__(self) -> None:
+        if not self.examples:
+            raise ValueError("a synthesis task needs at least one example")
+        arities = {ex.arity for ex in self.examples if ex.rows}
+        if len(arities) > 1:
+            raise ValueError(f"output tables have inconsistent arities: {arities}")
+
+    @property
+    def arity(self) -> int:
+        for example in self.examples:
+            if example.rows:
+                return example.arity
+        return 0
+
+
+@dataclass
+class SynthesisResult:
+    """The outcome of a synthesis run, including diagnostics for the evaluation."""
+
+    program: Optional[Program]
+    success: bool
+    synthesis_time: float
+    candidates_tried: int = 0
+    column_candidates: List[int] = field(default_factory=list)
+    predicate_stats: Optional[PredicateLearningStats] = None
+    message: str = ""
+
+    @property
+    def num_atomic_predicates(self) -> int:
+        return self.program.num_atomic_predicates() if self.program else 0
+
+    def describe(self) -> str:
+        if not self.success or self.program is None:
+            return f"synthesis failed: {self.message}"
+        return pretty_program(self.program)
+
+
+class Synthesizer:
+    """Programming-by-example synthesizer for tree-to-table transformations."""
+
+    def __init__(self, config: SynthesisConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ API
+    def synthesize(self, task: SynthesisTask) -> SynthesisResult:
+        """Learn the θ-minimal DSL program consistent with the task's examples."""
+        start = time.perf_counter()
+        config = self.config
+        arity = task.arity
+        if arity == 0:
+            return SynthesisResult(
+                program=None,
+                success=False,
+                synthesis_time=time.perf_counter() - start,
+                message="output example has no rows; cannot infer the table arity",
+            )
+
+        # Phase 1: column extractor candidates (Algorithm 2).
+        column_candidates: List[List] = []
+        try:
+            for j in range(arity):
+                examples = [
+                    (ex.tree, [row[j] for row in ex.rows]) for ex in task.examples
+                ]
+                column_candidates.append(learn_column_extractors(examples, config))
+        except ColumnLearningError as error:
+            return SynthesisResult(
+                program=None,
+                success=False,
+                synthesis_time=time.perf_counter() - start,
+                column_candidates=[len(c) for c in column_candidates],
+                message=str(error),
+            )
+
+        # Phase 2: enumerate table extractors by increasing total size, learn a
+        # predicate for each, and keep the θ-minimal program.
+        best_program: Optional[Program] = None
+        best_cost = None
+        best_stats: Optional[PredicateLearningStats] = None
+        candidates_tried = 0
+        since_improvement = 0
+        message = "no candidate table extractor admits a filtering predicate"
+
+        predicate_examples = [(ex.tree, ex.rows) for ex in task.examples]
+
+        for combo in self._enumerate_combinations(column_candidates):
+            if time.perf_counter() - start > config.timeout_seconds:
+                message = "synthesis timed out"
+                break
+            if candidates_tried >= config.max_table_extractors:
+                break
+            if (
+                best_program is not None
+                and since_improvement >= config.max_candidates_without_improvement
+            ):
+                break
+            table_extractor = TableExtractor(tuple(combo))
+            if not self._overapproximates(table_extractor, task.examples):
+                continue
+            candidates_tried += 1
+            since_improvement += 1
+            stats = PredicateLearningStats()
+            try:
+                predicate = learn_predicate(
+                    predicate_examples, table_extractor, config, stats=stats
+                )
+            except MemoryError:
+                continue
+            if predicate is None:
+                continue
+            program = Program(table_extractor, predicate)
+            if not check_program(program, predicate_examples):
+                continue
+            cost = program_cost(program)
+            if best_cost is None or cost < best_cost:
+                best_program, best_cost, best_stats = program, cost, stats
+                since_improvement = 0
+            if config.stop_after_first_solution:
+                break
+            if best_program is not None and best_program.num_atomic_predicates() == 0:
+                # No program can beat a filter-free program under θ.
+                break
+
+        elapsed = time.perf_counter() - start
+        if best_program is None:
+            return SynthesisResult(
+                program=None,
+                success=False,
+                synthesis_time=elapsed,
+                candidates_tried=candidates_tried,
+                column_candidates=[len(c) for c in column_candidates],
+                message=message,
+            )
+        return SynthesisResult(
+            program=best_program,
+            success=True,
+            synthesis_time=elapsed,
+            candidates_tried=candidates_tried,
+            column_candidates=[len(c) for c in column_candidates],
+            predicate_stats=best_stats,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _enumerate_combinations(self, column_candidates: Sequence[Sequence]):
+        """Lazily yield combinations of per-column extractors, cheapest first.
+
+        The per-column candidate lists are already sorted by size, so the
+        cheapest combination is the vector of first candidates.  A best-first
+        search over index vectors (expanding one coordinate at a time) yields
+        combinations in non-decreasing total size without materializing the
+        full cartesian product, which matters when the product is huge
+        (e.g. 24^5 for five columns).
+        """
+        import heapq
+
+        sizes = [[c.size() for c in candidates] for candidates in column_candidates]
+        start = tuple(0 for _ in column_candidates)
+        initial_cost = sum(s[0] for s in sizes)
+        heap = [(initial_cost, start)]
+        seen = {start}
+        while heap:
+            cost, indices = heapq.heappop(heap)
+            yield tuple(
+                column_candidates[col][idx] for col, idx in enumerate(indices)
+            )
+            for col in range(len(indices)):
+                nxt = indices[col] + 1
+                if nxt >= len(column_candidates[col]):
+                    continue
+                successor = indices[:col] + (nxt,) + indices[col + 1 :]
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                successor_cost = cost - sizes[col][indices[col]] + sizes[col][nxt]
+                heapq.heappush(heap, (successor_cost, successor))
+
+    def _overapproximates(
+        self, table_extractor: TableExtractor, examples: Sequence[ExamplePair]
+    ) -> bool:
+        """Check R ⊆ [[ψ]]T for every example — a cheap column-wise test.
+
+        Every value of output column j must be producible by column extractor
+        πj; otherwise no filtering predicate can recover the missing rows.
+        """
+        from ..dsl.semantics import compare_values
+        from ..dsl.ast import Op
+
+        for example in examples:
+            for j, extractor in enumerate(table_extractor.columns):
+                values = [row[j] for row in example.rows]
+                extracted = [n.data for n in eval_column_on_tree(extractor, example.tree)]
+                for value in values:
+                    if not any(compare_values(value, Op.EQ, d) for d in extracted):
+                        return False
+        return True
+
+
+def synthesize(
+    examples: Sequence[Tuple[HDT, Sequence[Row]]],
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    *,
+    name: str = "task",
+) -> SynthesisResult:
+    """Convenience wrapper: synthesize from ``(tree, rows)`` pairs."""
+    task = SynthesisTask(
+        examples=[ExamplePair(tree, [tuple(r) for r in rows]) for tree, rows in examples],
+        name=name,
+    )
+    return Synthesizer(config).synthesize(task)

@@ -1,0 +1,126 @@
+"""Tests for the dataset simulators and the StackOverflow-style benchmark suite."""
+
+import pytest
+
+from repro.benchmarks_suite import load_suite, suite_summary
+from repro.datasets import all_datasets, dblp, imdb, mondial, yelp
+from repro.evaluation.table1 import run_task
+from repro.synthesis import SynthesisConfig
+
+
+# --------------------------------------------------------------------------- #
+# Dataset bundles
+# --------------------------------------------------------------------------- #
+
+BUNDLES = {
+    "DBLP": (dblp, 9, "xml"),
+    "IMDB": (imdb, 9, "json"),
+    "MONDIAL": (mondial, 25, "xml"),
+    "YELP": (yelp, 7, "json"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUNDLES))
+def test_bundle_table_counts_match_paper(name):
+    module, expected_tables, fmt = BUNDLES[name]
+    bundle = module.dataset(scale=2)
+    assert bundle.num_tables == expected_tables
+    assert bundle.format == fmt
+    assert bundle.num_columns >= 2 * expected_tables
+
+
+@pytest.mark.parametrize("name", sorted(BUNDLES))
+def test_bundle_examples_cover_every_table(name):
+    module, expected_tables, _ = BUNDLES[name]
+    bundle = module.dataset(scale=2)
+    example_tables = {spec.table for spec in bundle.table_examples}
+    assert example_tables == set(bundle.schema.table_names)
+    for spec in bundle.table_examples:
+        assert spec.rows, f"example for {spec.table} is empty"
+        arity = bundle.schema.table(spec.table).arity
+        assert all(len(row) == arity for row in spec.rows)
+
+
+@pytest.mark.parametrize("name", sorted(BUNDLES))
+def test_bundle_generators_are_deterministic(name):
+    module, _, _ = BUNDLES[name]
+    bundle = module.dataset(scale=2)
+    first = bundle.ground_truth(2)
+    second = bundle.ground_truth(2)
+    assert first == second
+    assert bundle.generate(2).size() == bundle.generate(2).size()
+
+
+@pytest.mark.parametrize("name", sorted(BUNDLES))
+def test_bundle_scales_with_parameter(name):
+    module, _, _ = BUNDLES[name]
+    bundle = module.dataset(scale=2)
+    small = sum(bundle.ground_truth(2).values())
+    large = sum(bundle.ground_truth(6).values())
+    assert large > small
+
+
+def test_all_datasets_returns_four():
+    bundles = all_datasets(scale=2)
+    assert set(bundles) == {"DBLP", "IMDB", "MONDIAL", "YELP"}
+
+
+def test_dblp_example_document_consistent_with_tables():
+    bundle = dblp.dataset(scale=2)
+    tree = bundle.example_tree
+    article_rows = next(s.rows for s in bundle.table_examples if s.table == "article")
+    keys_in_tree = {n.data for n in tree.root.descendants_with_tag("key")}
+    assert {row[0] for row in article_rows} <= keys_in_tree
+
+
+def test_mondial_schema_has_expected_shapes():
+    schema = mondial.schema()
+    assert schema.table("membership").foreign_keys[0].target_table == "organization"
+    assert schema.table("city").foreign_keys[0].target_table == "province"
+    ordered = [t.name for t in schema.topological_order()]
+    assert ordered.index("country") < ordered.index("province") < ordered.index("city")
+
+
+# --------------------------------------------------------------------------- #
+# StackOverflow suite (Table 1 composition)
+# --------------------------------------------------------------------------- #
+
+
+def test_suite_has_98_tasks_with_paper_composition():
+    tasks = load_suite()
+    assert len(tasks) == 98
+    summary = suite_summary(tasks)
+    assert summary["xml"]["total"] == 51
+    assert summary["json"]["total"] == 47
+    assert summary["xml"] == {"<=2": 17, "3": 12, "4": 12, ">=5": 10, "total": 51}
+    assert summary["json"] == {"<=2": 11, "3": 11, "4": 11, ">=5": 14, "total": 47}
+
+
+def test_suite_task_names_unique_and_nonempty():
+    tasks = load_suite()
+    names = [t.name for t in tasks]
+    assert len(set(names)) == len(names)
+    assert all(t.rows for t in tasks)
+    assert all(t.num_elements > 0 for t in tasks)
+
+
+def test_suite_contains_six_inexpressible_tasks():
+    tasks = load_suite()
+    inexpressible = [t for t in tasks if not t.expressible]
+    assert len(inexpressible) == 6
+    assert {t.format for t in inexpressible} == {"xml", "json"}
+
+
+@pytest.mark.parametrize("index", [0, 20, 40, 60, 80])
+def test_sampled_expressible_tasks_are_solvable(index):
+    tasks = [t for t in load_suite() if t.expressible]
+    task = tasks[index % len(tasks)]
+    result = run_task(task, SynthesisConfig.fast())
+    assert result.solved, f"{task.name}: {result.message}"
+    assert result.generated_loc > 0
+
+
+def test_inexpressible_tasks_fail_as_expected():
+    task = next(t for t in load_suite() if not t.expressible and "union" in t.name)
+    result = run_task(task, SynthesisConfig.fast())
+    assert not result.solved

@@ -1,0 +1,265 @@
+"""Tests for the DSL: abstract syntax, semantics, cost model, pretty-printer."""
+
+import pytest
+
+from repro.dsl import (
+    And,
+    Child,
+    Children,
+    CompareConst,
+    CompareNodes,
+    Descendants,
+    False_,
+    NodeVar,
+    Not,
+    Op,
+    Or,
+    Parent,
+    PChildren,
+    Program,
+    TableExtractor,
+    True_,
+    Var,
+    compare_values,
+    conjoin,
+    disjoin,
+    eval_column_on_tree,
+    eval_node_extractor,
+    eval_predicate,
+    eval_table,
+    pretty_predicate,
+    pretty_program,
+    program_cost,
+    run_program,
+    simpler,
+)
+from repro.hdt import build_tree, xml_to_hdt
+
+
+@pytest.fixture
+def people_tree():
+    return build_tree(
+        {
+            "person": [
+                {"name": "Ann", "age": 31, "pet": [{"kind": "cat"}, {"kind": "dog"}]},
+                {"name": "Bob", "age": 25, "pet": [{"kind": "fish"}]},
+            ]
+        },
+        tag="root",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Column extractors
+# --------------------------------------------------------------------------- #
+
+
+def test_var_returns_input(people_tree):
+    assert eval_column_on_tree(Var(), people_tree) == [people_tree.root]
+
+
+def test_children_by_tag(people_tree):
+    nodes = eval_column_on_tree(Children(Var(), "person"), people_tree)
+    assert [n.tag for n in nodes] == ["person", "person"]
+
+
+def test_pchildren_selects_position(people_tree):
+    nodes = eval_column_on_tree(PChildren(Var(), "person", 1), people_tree)
+    assert len(nodes) == 1 and nodes[0].child_with("name", 0).data == "Bob"
+
+
+def test_descendants_reaches_deep_nodes(people_tree):
+    nodes = eval_column_on_tree(Descendants(Var(), "kind"), people_tree)
+    assert [n.data for n in nodes] == ["cat", "dog", "fish"]
+
+
+def test_nested_extractors(people_tree):
+    extractor = PChildren(Children(Var(), "person"), "name", 0)
+    assert [n.data for n in eval_column_on_tree(extractor, people_tree)] == ["Ann", "Bob"]
+
+
+def test_extractor_size():
+    assert Var().size() == 0
+    assert Children(Var(), "a").size() == 1
+    assert PChildren(Descendants(Var(), "a"), "b", 0).size() == 2
+
+
+def test_table_extractor_cross_product(people_tree):
+    table = TableExtractor((Children(Var(), "person"), Descendants(Var(), "kind")))
+    rows = eval_table(table, people_tree)
+    assert len(rows) == 2 * 3
+    assert table.arity == 2
+
+
+# --------------------------------------------------------------------------- #
+# Node extractors
+# --------------------------------------------------------------------------- #
+
+
+def test_node_var_identity(people_tree):
+    node = people_tree.find_first("name")
+    assert eval_node_extractor(NodeVar(), node) is node
+
+
+def test_parent_extractor(people_tree):
+    node = people_tree.find_first("name")
+    assert eval_node_extractor(Parent(NodeVar()), node).tag == "person"
+
+
+def test_parent_of_root_is_bottom(people_tree):
+    assert eval_node_extractor(Parent(NodeVar()), people_tree.root) is None
+
+
+def test_child_extractor(people_tree):
+    person = people_tree.find_first("person")
+    target = eval_node_extractor(Child(NodeVar(), "age", 0), person)
+    assert target.data == 31
+
+
+def test_child_extractor_missing_is_bottom(people_tree):
+    person = people_tree.find_first("person")
+    assert eval_node_extractor(Child(NodeVar(), "zzz", 0), person) is None
+
+
+def test_chained_node_extractor(people_tree):
+    kind = people_tree.find_first("kind")
+    extractor = Child(Parent(Parent(NodeVar())), "name", 0)
+    assert eval_node_extractor(extractor, kind).data == "Ann"
+
+
+# --------------------------------------------------------------------------- #
+# Value comparison
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "left,op,right,expected",
+    [
+        (3, Op.EQ, 3, True),
+        (3, Op.EQ, 3.0, True),
+        ("3", Op.EQ, 3, False),
+        ("a", Op.EQ, "a", True),
+        (3, Op.NE, 4, True),
+        (3, Op.LT, 5, True),
+        (5, Op.LE, 5, True),
+        (7, Op.GT, 5, True),
+        (7, Op.GE, 8, False),
+        ("abc", Op.LT, "abd", True),
+        ("abc", Op.LT, 5, False),
+        (None, Op.EQ, None, True),
+    ],
+)
+def test_compare_values(left, op, right, expected):
+    assert compare_values(left, op, right) is expected
+
+
+# --------------------------------------------------------------------------- #
+# Predicates
+# --------------------------------------------------------------------------- #
+
+
+def test_compare_const_predicate(people_tree):
+    ages = eval_column_on_tree(Children(Children(Var(), "person"), "age"), people_tree)
+    pred = CompareConst(NodeVar(), 0, Op.LT, 30)
+    assert eval_predicate(pred, (ages[1],)) is True
+    assert eval_predicate(pred, (ages[0],)) is False
+
+
+def test_compare_const_bottom_is_false(people_tree):
+    person = people_tree.find_first("person")
+    pred = CompareConst(Child(NodeVar(), "zzz", 0), 0, Op.EQ, 1)
+    assert eval_predicate(pred, (person,)) is False
+
+
+def test_compare_nodes_leaf_data_equality(people_tree):
+    names = eval_column_on_tree(Descendants(Var(), "name"), people_tree)
+    pred = CompareNodes(NodeVar(), 0, Op.EQ, NodeVar(), 1)
+    assert eval_predicate(pred, (names[0], names[0])) is True
+    assert eval_predicate(pred, (names[0], names[1])) is False
+
+
+def test_compare_nodes_internal_identity(people_tree):
+    persons = eval_column_on_tree(Children(Var(), "person"), people_tree)
+    pred = CompareNodes(NodeVar(), 0, Op.EQ, NodeVar(), 1)
+    assert eval_predicate(pred, (persons[0], persons[0])) is True
+    assert eval_predicate(pred, (persons[0], persons[1])) is False
+
+
+def test_compare_nodes_mixed_leaf_internal_is_false(people_tree):
+    person = people_tree.find_first("person")
+    name = people_tree.find_first("name")
+    pred = CompareNodes(NodeVar(), 0, Op.EQ, NodeVar(), 1)
+    assert eval_predicate(pred, (person, name)) is False
+
+
+def test_boolean_connectives(people_tree):
+    row = (people_tree.find_first("name"),)
+    true_pred = CompareConst(NodeVar(), 0, Op.EQ, "Ann")
+    false_pred = CompareConst(NodeVar(), 0, Op.EQ, "Zed")
+    assert eval_predicate(And(true_pred, false_pred), row) is False
+    assert eval_predicate(Or(true_pred, false_pred), row) is True
+    assert eval_predicate(Not(false_pred), row) is True
+    assert eval_predicate(True_(), row) is True
+    assert eval_predicate(False_(), row) is False
+
+
+def test_conjoin_disjoin_helpers():
+    assert isinstance(conjoin([]), True_)
+    assert isinstance(disjoin([]), False_)
+    pred = CompareConst(NodeVar(), 0, Op.EQ, 1)
+    assert conjoin([pred]) is pred
+    assert isinstance(conjoin([pred, pred]), And)
+    assert isinstance(disjoin([pred, pred]), Or)
+
+
+# --------------------------------------------------------------------------- #
+# Programs, cost, pretty-printing
+# --------------------------------------------------------------------------- #
+
+
+def _name_age_program():
+    table = TableExtractor(
+        (
+            PChildren(Children(Var(), "person"), "name", 0),
+            PChildren(Children(Var(), "person"), "age", 0),
+        )
+    )
+    predicate = CompareNodes(Parent(NodeVar()), 0, Op.EQ, Parent(NodeVar()), 1)
+    return Program(table, predicate)
+
+
+def test_run_program(people_tree):
+    rows = run_program(_name_age_program(), people_tree)
+    assert sorted(rows) == [("Ann", 31), ("Bob", 25)]
+
+
+def test_run_program_true_predicate(people_tree):
+    table = TableExtractor((Descendants(Var(), "name"),))
+    rows = run_program(Program(table, True_()), people_tree)
+    assert sorted(rows) == [("Ann",), ("Bob",)]
+
+
+def test_program_cost_prefers_fewer_predicates(people_tree):
+    simple = Program(TableExtractor((Descendants(Var(), "name"),)), True_())
+    complex_ = _name_age_program()
+    assert program_cost(simple) < program_cost(complex_)
+    assert simpler(simple, complex_) is simple
+
+
+def test_pretty_program_roundtrips_constructs():
+    text = pretty_program(_name_age_program())
+    assert "filter" in text and "pchildren" in text and "parent(n)" in text
+    assert "t[0]" in text and "t[1]" in text
+
+
+def test_pretty_predicate_operators():
+    pred = Not(And(CompareConst(NodeVar(), 0, Op.LT, 5), True_()))
+    text = pretty_predicate(pred)
+    assert "¬" in text and "∧" in text and "< 5" in text
+
+
+def test_op_flipped_and_negated():
+    assert Op.LT.flipped() is Op.GT
+    assert Op.LE.negated() is Op.GT
+    assert Op.EQ.flipped() is Op.EQ
+    assert Op.EQ.negated() is Op.NE

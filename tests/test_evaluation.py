@@ -1,0 +1,62 @@
+"""Smoke tests for the evaluation harnesses (Table 1, Table 2, scalability, ablations)."""
+
+import pytest
+
+from repro.benchmarks_suite import load_suite
+from repro.datasets import dblp
+from repro.evaluation import (
+    run_dataset,
+    run_optimizer_ablation,
+    run_scalability,
+    run_table1,
+    render_ablation_report,
+)
+from repro.evaluation.table2 import Table2Report
+from repro.synthesis import SynthesisConfig
+
+
+def test_table1_small_subset_produces_report():
+    tasks = [t for t in load_suite() if t.expressible][:4]
+    report = run_table1(tasks, SynthesisConfig.fast())
+    assert report.total == 4
+    assert report.solved == 4
+    text = report.render()
+    assert "Overall" in text and "solved" in text
+    for bucket in report.buckets:
+        row = bucket.as_row()
+        assert row["total"] >= row["solved"]
+
+
+def test_table1_counts_unsolved_tasks():
+    tasks = [t for t in load_suite() if not t.expressible][:2]
+    report = run_table1(tasks, SynthesisConfig.fast())
+    assert report.solved == 0
+    assert report.solve_rate == 0.0
+
+
+def test_table2_single_dataset_row():
+    bundle = dblp.dataset(scale=2)
+    report = run_dataset(bundle, scale=2)
+    assert report.num_tables == 9
+    assert report.error == ""
+    assert report.total_rows > 0
+    assert report.fk_violations == 0
+    assert report.tables_matching_ground_truth == 9
+    rendered = Table2Report([report]).render()
+    assert "DBLP" in rendered
+
+
+def test_scalability_points_are_monotone():
+    report = run_scalability(sizes=(20, 60))
+    assert len(report.points) == 2
+    assert report.points[0].document_nodes < report.points[1].document_nodes
+    assert report.points[0].rows_produced < report.points[1].rows_produced
+    assert "persons" in report.render()
+
+
+def test_optimizer_ablation_preserves_semantics_and_reports_speedup():
+    points = run_optimizer_ablation(sizes=(10, 25))
+    assert len(points) == 2
+    assert all(p.naive_seconds > 0 and p.optimized_seconds > 0 for p in points)
+    text = render_ablation_report(points, [])
+    assert "naive" in text and "speedup" in text

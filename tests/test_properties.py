@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.dsl import (
+    Children,
+    CompareNodes,
+    Descendants,
+    NodeVar,
+    Op,
+    Parent,
+    PChildren,
+    Program,
+    TableExtractor,
+    True_,
+    Var,
+    run_program,
+)
+from repro.hdt import build_tree, hdt_to_json, json_to_hdt
+from repro.optimizer import execute, to_cnf_clauses, clauses_to_predicate
+from repro.dsl.semantics import eval_predicate, eval_table
+from repro.synthesis.qm import evaluate_dnf, minimize, minterm_to_bits
+from repro.synthesis.set_cover import branch_and_bound_cover, greedy_cover, ilp_cover
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+scalars = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.text(alphabet="abcxyz", min_size=1, max_size=4),
+)
+
+json_docs = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+tag_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def small_trees(draw):
+    """Small nested documents with repeated tags (good for extractor testing)."""
+    doc = {
+        "item": [
+            {
+                "k": draw(scalars),
+                "v": draw(scalars),
+                "sub": [{"x": draw(scalars)} for _ in range(draw(st.integers(0, 2)))],
+            }
+            for _ in range(draw(st.integers(1, 3)))
+        ]
+    }
+    return build_tree(doc, tag="root")
+
+
+@st.composite
+def column_extractors(draw, depth=2):
+    extractor = Var()
+    for _ in range(draw(st.integers(0, depth))):
+        kind = draw(st.sampled_from(["children", "pchildren", "descendants"]))
+        tag = draw(st.sampled_from(["item", "k", "v", "sub", "x"]))
+        if kind == "children":
+            extractor = Children(extractor, tag)
+        elif kind == "descendants":
+            extractor = Descendants(extractor, tag)
+        else:
+            extractor = PChildren(extractor, tag, draw(st.integers(0, 1)))
+    return extractor
+
+
+@st.composite
+def node_extractors(draw):
+    extractor = NodeVar()
+    for _ in range(draw(st.integers(0, 2))):
+        if draw(st.booleans()):
+            extractor = Parent(extractor)
+        else:
+            extractor = __import__("repro.dsl", fromlist=["Child"]).Child(
+                extractor, draw(st.sampled_from(["k", "v", "x"])), 0
+            )
+    return extractor
+
+
+# --------------------------------------------------------------------------- #
+# HDT properties
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+@given(json_docs)
+def test_json_roundtrip_preserves_scalars(doc):
+    """json -> HDT -> json preserves every leaf value (as a multiset)."""
+    tree = json_to_hdt({"root_value": doc})
+    def leaves(value):
+        if isinstance(value, dict):
+            out = []
+            for v in value.values():
+                out.extend(leaves(v))
+            return out
+        if isinstance(value, list):
+            out = []
+            for v in value:
+                out.extend(leaves(v))
+            return out
+        return [value]
+
+    original = sorted(map(repr, leaves(doc)))
+    restored = sorted(repr(n.data) for n in tree.nodes() if n.is_leaf() and n.data is not None)
+    # Empty containers become leaves with data None and are excluded; every
+    # original scalar must survive.
+    assert all(item in restored for item in original) or original == restored
+
+
+@settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+@given(small_trees())
+def test_document_order_and_size_invariants(tree):
+    nodes = list(tree.nodes())
+    assert len(nodes) == tree.size()
+    assert len({n.uid for n in nodes}) == len(nodes)
+    for node in nodes:
+        for child in node.children:
+            assert child.parent is node
+
+
+# --------------------------------------------------------------------------- #
+# DSL / optimizer equivalence
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_trees(), column_extractors(), column_extractors())
+def test_optimizer_equals_naive_semantics(tree, left, right):
+    """The cross-product-free executor agrees with the formal semantics."""
+    program = Program(
+        TableExtractor((left, right)),
+        CompareNodes(Parent(NodeVar()), 0, Op.EQ, Parent(NodeVar()), 1),
+    )
+    assert sorted(map(repr, execute(program, tree))) == sorted(
+        map(repr, run_program(program, tree))
+    )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_trees(), column_extractors())
+def test_true_filter_returns_all_extracted_tuples(tree, extractor):
+    program = Program(TableExtractor((extractor,)), True_())
+    rows = run_program(program, tree)
+    table = eval_table(program.table, tree)
+    assert len(rows) == len(table)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_trees(), column_extractors(), node_extractors(), node_extractors())
+def test_cnf_conversion_preserves_semantics(tree, extractor, ne1, ne2):
+    """Converting a predicate to CNF and back does not change its value."""
+    from repro.dsl import And, Not, Or
+
+    atom1 = CompareNodes(ne1, 0, Op.EQ, ne2, 1)
+    atom2 = CompareNodes(NodeVar(), 0, Op.EQ, NodeVar(), 1)
+    predicate = Or(And(atom1, atom2), Not(atom1))
+    rebuilt = clauses_to_predicate(to_cnf_clauses(predicate))
+    table = TableExtractor((extractor, extractor))
+    for row in eval_table(table, tree)[:20]:
+        assert eval_predicate(predicate, row) == eval_predicate(rebuilt, row)
+
+
+# --------------------------------------------------------------------------- #
+# Quine–McCluskey and set cover properties
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_qm_minimization_is_correct(num_vars, data):
+    universe = list(range(1 << num_vars))
+    on_set = data.draw(st.lists(st.sampled_from(universe), unique=True, max_size=len(universe)))
+    remaining = [m for m in universe if m not in on_set]
+    dc_set = data.draw(st.lists(st.sampled_from(remaining), unique=True, max_size=len(remaining))) if remaining else []
+    implicants = minimize(num_vars, on_set, dc_set)
+    for minterm in on_set:
+        assert evaluate_dnf(implicants, minterm_to_bits(minterm, num_vars))
+    off_set = [m for m in universe if m not in on_set and m not in dc_set]
+    for minterm in off_set:
+        assert not evaluate_dnf(implicants, minterm_to_bits(minterm, num_vars))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_set_cover_solvers_agree_on_validity_and_optimality(data):
+    num_elements = data.draw(st.integers(min_value=1, max_value=6))
+    universe = set(range(num_elements))
+    sets = data.draw(
+        st.lists(
+            st.sets(st.integers(0, num_elements - 1), min_size=1, max_size=num_elements),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    covered = set().union(*sets)
+    if not universe.issubset(covered):
+        universe = covered
+    if not universe:
+        return
+    exact = branch_and_bound_cover(sets, universe)
+    ilp = ilp_cover(sets, universe)
+    greedy = greedy_cover(sets, universe)
+    for solution in (exact, ilp, greedy):
+        chosen = set().union(*(sets[i] for i in solution)) if solution else set()
+        assert universe.issubset(chosen)
+    assert len(exact) == len(ilp)
+    assert len(greedy) >= len(exact)

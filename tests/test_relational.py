@@ -1,0 +1,240 @@
+"""Tests for the relational substrate: tables, schemas, the in-memory database."""
+
+import pytest
+
+from repro.relational import (
+    ColumnDef,
+    Database,
+    DatabaseSchema,
+    ForeignKey,
+    IntegrityError,
+    SchemaError,
+    Table,
+    TableError,
+    TableSchema,
+)
+
+
+@pytest.fixture
+def people():
+    return Table("people", ["name", "age", "city"], [("Ann", 31, "austin"), ("Bob", 25, "dallas")])
+
+
+def test_table_insert_and_len(people):
+    people.insert(("Cam", 40, "austin"))
+    assert len(people) == 3
+
+
+def test_table_insert_arity_check(people):
+    with pytest.raises(TableError):
+        people.insert(("only-one",))
+
+
+def test_table_duplicate_columns_rejected():
+    with pytest.raises(TableError):
+        Table("t", ["a", "a"])
+
+
+def test_table_column_values(people):
+    assert people.column_values("name") == ["Ann", "Bob"]
+    with pytest.raises(TableError):
+        people.column_values("missing")
+
+
+def test_table_project(people):
+    projected = people.project(["age", "name"])
+    assert projected.columns == ["age", "name"]
+    assert projected.rows == [(31, "Ann"), (25, "Bob")]
+
+
+def test_table_select(people):
+    young = people.select(lambda row: row["age"] < 30)
+    assert young.rows == [("Bob", 25, "dallas")]
+
+
+def test_table_distinct():
+    table = Table("t", ["x"], [(1,), (1,), (2,)])
+    assert table.distinct().rows == [(1,), (2,)]
+
+
+def test_table_rename(people):
+    renamed = people.rename({"name": "full_name"})
+    assert renamed.columns == ["full_name", "age", "city"]
+
+
+def test_table_cross(people):
+    cities = Table("cities", ["city_name"], [("austin",), ("dallas",)])
+    crossed = people.cross(cities)
+    assert len(crossed) == 4
+    assert crossed.arity == 4
+
+
+def test_table_equi_join(people):
+    cities = Table("cities", ["cname", "state"], [("austin", "TX"), ("dallas", "TX")])
+    joined = people.equi_join(cities, "city", "cname")
+    assert len(joined) == 2
+    assert ("Ann", 31, "austin", "austin", "TX") in joined.rows
+
+
+def test_table_union_arity_check(people):
+    with pytest.raises(TableError):
+        people.union(Table("t", ["x"], [(1,)]))
+    merged = people.union(Table("more", ["n", "a", "c"], [("Cam", 1, "x")]))
+    assert len(merged) == 3
+
+
+def test_table_order_by_and_group_count(people):
+    ordered = people.order_by("age")
+    assert ordered.rows[0][1] == 25
+    counts = people.group_count("city")
+    assert counts == {"austin": 1, "dallas": 1}
+
+
+def test_table_csv_roundtrip(people):
+    text = people.to_csv()
+    parsed = Table.from_csv("people", text)
+    assert parsed.columns == people.columns
+    assert parsed.rows[0][0] == "Ann"
+
+
+def test_table_pretty_and_dicts(people):
+    assert "Ann" in people.pretty()
+    assert people.to_dicts()[1]["city"] == "dallas"
+    assert people.contains_row(("Ann", 31, "austin"))
+
+
+# --------------------------------------------------------------------------- #
+# Schemas
+# --------------------------------------------------------------------------- #
+
+
+def _schema():
+    return DatabaseSchema(
+        "shop",
+        [
+            TableSchema(
+                "customer",
+                [ColumnDef("id", "integer", nullable=False), ColumnDef("name", "text")],
+                primary_key="id",
+            ),
+            TableSchema(
+                "order",
+                [
+                    ColumnDef("order_id", "integer", nullable=False),
+                    ColumnDef("customer_id", "integer"),
+                    ColumnDef("total", "real"),
+                ],
+                primary_key="order_id",
+                foreign_keys=[ForeignKey("customer_id", "customer", "id")],
+            ),
+        ],
+    )
+
+
+def test_schema_basic_queries():
+    schema = _schema()
+    assert schema.num_tables == 2
+    assert schema.num_columns == 5
+    assert schema.table("order").foreign_key_for("customer_id").target_table == "customer"
+    assert schema.table("customer").column("name").dtype == "text"
+
+
+def test_schema_data_columns_exclude_keys():
+    order = _schema().table("order")
+    assert order.data_columns() == ["total"]
+    natural = TableSchema(
+        "n", [ColumnDef("id", "text"), ColumnDef("v", "text")], primary_key="id", natural_keys=True
+    )
+    assert natural.data_columns() == ["id", "v"]
+
+
+def test_schema_topological_order():
+    ordered = [t.name for t in _schema().topological_order()]
+    assert ordered.index("customer") < ordered.index("order")
+
+
+def test_schema_validation_errors():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [ColumnDef("a"), ColumnDef("a")])
+    with pytest.raises(SchemaError):
+        TableSchema("t", [ColumnDef("a")], primary_key="zzz")
+    with pytest.raises(SchemaError):
+        ColumnDef("x", "varchar")
+    with pytest.raises(SchemaError):
+        DatabaseSchema(
+            "bad",
+            [
+                TableSchema(
+                    "a",
+                    [ColumnDef("x")],
+                    foreign_keys=[ForeignKey("x", "missing", "y")],
+                )
+            ],
+        )
+
+
+def test_schema_unknown_table_lookup():
+    with pytest.raises(SchemaError):
+        _schema().table("nope")
+
+
+# --------------------------------------------------------------------------- #
+# Database
+# --------------------------------------------------------------------------- #
+
+
+def test_database_insert_and_lookup():
+    database = Database(_schema())
+    database.insert("customer", (1, "Ann"))
+    database.insert_many("order", [(10, 1, 9.5), (11, 1, 3.25)])
+    assert database.row_count() == 3
+    assert database.row_count("order") == 2
+    assert database.lookup("order", "customer_id", 1) == [(10, 1, 9.5), (11, 1, 3.25)]
+
+
+def test_database_primary_key_uniqueness():
+    database = Database(_schema())
+    database.insert("customer", (1, "Ann"))
+    with pytest.raises(IntegrityError):
+        database.insert("customer", (1, "Bob"))
+
+
+def test_database_null_primary_key_rejected():
+    database = Database(_schema())
+    with pytest.raises(IntegrityError):
+        database.insert("customer", (None, "Ann"))
+
+
+def test_database_arity_check():
+    database = Database(_schema())
+    with pytest.raises(IntegrityError):
+        database.insert("customer", (1,))
+
+
+def test_database_type_checks():
+    database = Database(_schema())
+    with pytest.raises(IntegrityError):
+        database.insert("customer", ("not-an-int", "Ann"))
+    database.insert("customer", (2, "Ok"))
+    with pytest.raises(IntegrityError):
+        database.insert("order", (5, 2, "not-a-number"))
+
+
+def test_database_foreign_key_validation():
+    database = Database(_schema())
+    database.insert("customer", (1, "Ann"))
+    database.insert("order", (10, 1, 5.0))
+    assert database.validate_foreign_keys() == []
+    database.insert("order", (11, 99, 5.0))
+    violations = database.validate_foreign_keys()
+    assert len(violations) == 1 and "99" in violations[0]
+    with pytest.raises(IntegrityError):
+        database.validate()
+
+
+def test_database_summary_and_csv():
+    database = Database(_schema())
+    database.insert("customer", (1, "Ann"))
+    assert database.summary() == {"customer": 1, "order": 0}
+    files = database.to_csv_files()
+    assert "customer" in files and "Ann" in files["customer"]
