@@ -10,8 +10,29 @@ setup(
     name="repro",
     version="1.0.0",
     description="Reproduction of Mitra (VLDB 2018): PBE migration of hierarchical data to relational tables",
+    long_description=(
+        "A programming-by-example system that migrates hierarchical documents "
+        "(XML, JSON) to relational tables, plus a production migration runtime: "
+        "durable JSON plans, a SQLite backend, streaming execution and a CLI."
+    ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro-migrate = repro.runtime.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering",
+    ],
 )

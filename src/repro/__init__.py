@@ -12,6 +12,9 @@ Python:
 * :mod:`repro.codegen` — Python / XSLT / JavaScript / SQL code generation,
 * :mod:`repro.relational` — the relational substrate (tables, schemas, keys),
 * :mod:`repro.migration` — whole-database migration with key generation,
+* :mod:`repro.runtime` — the production runtime: durable JSON plans, plan
+  caching, a SQLite backend, streaming execution and the ``python -m repro``
+  CLI,
 * :mod:`repro.benchmarks_suite` — the 98-task StackOverflow-style suite,
 * :mod:`repro.datasets` — synthetic DBLP / IMDB / MONDIAL / YELP generators,
 * :mod:`repro.evaluation` — harnesses regenerating Table 1, Table 2 and the

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the migration runtime CLI (see :mod:`repro.runtime.cli`)."""
+
+import sys
+
+from .runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,21 @@ def _set_leaf(node: Node, value: Any) -> None:
     node.data = value
 
 
+def json_value_to_node(tag: str, pos: int, value: Any) -> Node:
+    """Convert one decoded JSON value into a standalone HDT node ``(tag, pos, .)``.
+
+    Mirrors exactly how :func:`json_to_hdt` would attach the same value under
+    its parent; used by the streaming runtime to build per-record subtrees
+    without materializing the whole document tree.
+    """
+    node = Node(tag, pos)
+    if isinstance(value, (dict, list)):
+        _attach_value(node, value)
+    else:
+        _set_leaf(node, value)
+    return node
+
+
 def hdt_to_json(tree: HDT) -> Any:
     """Render an HDT back into a JSON-compatible python value.
 

@@ -51,6 +51,16 @@ def xml_file_to_hdt(path: str, *, coerce_numbers: bool = True) -> HDT:
     return xml_to_hdt(tree.getroot(), coerce_numbers=coerce_numbers)
 
 
+def element_to_node(element: ET.Element, pos: int = 0, *, coerce_numbers: bool = True) -> Node:
+    """Convert a single parsed XML element into a standalone HDT node.
+
+    This is the record-level entry point used by the streaming runtime
+    (:mod:`repro.runtime.streaming`), which parses documents incrementally
+    with ``iterparse`` and converts one record subtree at a time.
+    """
+    return _convert_element(element, pos=pos, coerce=coerce_numbers)
+
+
 def _convert_element(element: ET.Element, pos: int, coerce: bool) -> Node:
     text = (element.text or "").strip()
     has_children = len(element) > 0

@@ -7,6 +7,8 @@ from .engine import (
     MigrationSpec,
     TableExampleSpec,
     TableProgram,
+    TableRowBatch,
+    generate_table_rows,
 )
 from .keys import ForeignKeyRule, LinkRule, key_of, learn_link_rules, path_extractor
 
@@ -17,6 +19,8 @@ __all__ = [
     "MigrationSpec",
     "TableExampleSpec",
     "TableProgram",
+    "TableRowBatch",
+    "generate_table_rows",
     "ForeignKeyRule",
     "LinkRule",
     "key_of",

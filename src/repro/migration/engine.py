@@ -45,6 +45,89 @@ class MigrationError(Exception):
 
 
 @dataclass
+class TableRowBatch:
+    """Rows produced for one table from one document (or document chunk).
+
+    ``key_aliases`` records surrogate keys that were *not* inserted because an
+    earlier row in the same batch had identical content: each dropped key maps
+    to the key that was kept.  The streaming runtime uses this to reconcile
+    keys across chunks; the one-shot engine ignores it (referencing rows that
+    recover a dropped node tuple would have produced the dropped key in either
+    path, so behaviour is unchanged).
+    """
+
+    table: str
+    rows: List[Tuple[Scalar, ...]]
+    key_aliases: Dict[str, str] = field(default_factory=dict)
+
+
+def generate_table_rows(
+    schema: TableSchema,
+    data_columns: Sequence[str],
+    foreign_key_rules: Sequence[ForeignKeyRule],
+    node_rows: Sequence[NodeTuple],
+) -> TableRowBatch:
+    """Turn a program's node tuples into schema-ordered rows with keys.
+
+    This is the single implementation of the paper's key-generation step
+    (Section 6): natural-key tables take every column directly from the
+    document (deduplicated on the primary key, or on the whole row when the
+    table has no primary key); surrogate-key tables derive the primary key
+    from the defining node tuple via :func:`~repro.migration.keys.key_of` and
+    foreign keys via the learned :class:`ForeignKeyRule`s.  Both the one-shot
+    :class:`MigrationEngine` and the streaming runtime
+    (:mod:`repro.runtime.streaming`) call it.
+    """
+    column_names = schema.column_names
+    data_indices = {name: index for index, name in enumerate(data_columns)}
+    fk_rules = {rule.column: rule for rule in foreign_key_rules}
+    batch = TableRowBatch(table=schema.name, rows=[])
+    seen_keys: set = set()
+    if schema.natural_keys:
+        seen_rows: set = set()
+        for node_row in node_rows:
+            row = tuple(node_row[data_indices[name]].data for name in column_names)
+            if schema.primary_key is not None:
+                pk_value = row[column_names.index(schema.primary_key)]
+                if pk_value in seen_keys:
+                    continue
+                seen_keys.add(pk_value)
+            elif row in seen_rows:
+                continue
+            seen_rows.add(row)
+            batch.rows.append(row)
+        return batch
+    seen_content: Dict[Tuple[Scalar, ...], str] = {}
+    for node_row in node_rows:
+        primary_key = key_of(node_row)
+        if schema.primary_key is not None:
+            if primary_key in seen_keys:
+                continue
+            seen_keys.add(primary_key)
+        row: List[Scalar] = []
+        for name in column_names:
+            if name == schema.primary_key:
+                row.append(primary_key)
+            elif name in fk_rules:
+                row.append(fk_rules[name].foreign_key_for(node_row))
+            else:
+                row.append(node_row[data_indices[name]].data)
+        # Distinct node tuples can denote the same logical row when the
+        # filter predicate relates columns by data value rather than node
+        # identity; collapse them so the surrogate key stays one-per-row.
+        content = tuple(
+            value for name, value in zip(column_names, row) if name != schema.primary_key
+        )
+        if content in seen_content:
+            if schema.primary_key is not None:
+                batch.key_aliases[primary_key] = seen_content[content]
+            continue
+        seen_content[content] = primary_key
+        batch.rows.append(tuple(row))
+    return batch
+
+
+@dataclass
 class TableExampleSpec:
     """Input-output example for one target table.
 
@@ -285,54 +368,13 @@ class MigrationEngine:
         self, database: Database, table_program: TableProgram, dataset: HDT
     ) -> int:
         """Run one table's program on the dataset and insert rows with keys."""
-        schema = table_program.schema
-        column_names = schema.column_names
-        data_indices = {
-            name: index for index, name in enumerate(table_program.data_columns)
-        }
-        fk_rules = {rule.column: rule for rule in table_program.foreign_key_rules}
         node_rows = execute_nodes(table_program.program, dataset)
-        seen_keys: set = set()
-        inserted = 0
-        if schema.natural_keys:
-            seen_rows: set = set()
-            for node_row in node_rows:
-                row = tuple(node_row[data_indices[name]].data for name in column_names)
-                if schema.primary_key is not None:
-                    pk_value = row[column_names.index(schema.primary_key)]
-                    if pk_value in seen_keys:
-                        continue
-                    seen_keys.add(pk_value)
-                elif row in seen_rows:
-                    continue
-                seen_rows.add(row)
-                database.insert(schema.name, row)
-                inserted += 1
-            return inserted
-        seen_content: set = set()
-        for node_row in node_rows:
-            primary_key = key_of(node_row)
-            if schema.primary_key is not None:
-                if primary_key in seen_keys:
-                    continue
-                seen_keys.add(primary_key)
-            row: List[Scalar] = []
-            for name in column_names:
-                if name == schema.primary_key:
-                    row.append(primary_key)
-                elif name in fk_rules:
-                    row.append(fk_rules[name].foreign_key_for(node_row))
-                else:
-                    row.append(node_row[data_indices[name]].data)
-            # Distinct node tuples can denote the same logical row when the
-            # filter predicate relates columns by data value rather than node
-            # identity; collapse them so the surrogate key stays one-per-row.
-            content = tuple(
-                value for name, value in zip(column_names, row) if name != schema.primary_key
-            )
-            if content in seen_content:
-                continue
-            seen_content.add(content)
-            database.insert(schema.name, row)
-            inserted += 1
-        return inserted
+        batch = generate_table_rows(
+            table_program.schema,
+            table_program.data_columns,
+            table_program.foreign_key_rules,
+            node_rows,
+        )
+        for row in batch.rows:
+            database.insert(batch.table, row)
+        return len(batch.rows)

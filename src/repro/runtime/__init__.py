@@ -1,0 +1,70 @@
+"""The migration runtime: durable plans, storage backends, streaming, CLI.
+
+The research pipeline (synthesize → execute in memory) pays the synthesis
+cost on every invocation.  This package turns the synthesized artifact into a
+durable, re-executable *plan* and provides the production execution paths the
+ROADMAP's north star asks for:
+
+* :mod:`repro.runtime.plan` — the :class:`MigrationPlan` artifact
+  (JSON-serializable schema + per-table programs + key rules);
+* :mod:`repro.runtime.plan_cache` — on-disk caching keyed by a spec
+  fingerprint, so synthesis runs once per distinct spec;
+* :mod:`repro.runtime.executor` — backend-pluggable whole-tree execution;
+* :mod:`repro.runtime.sqlite_backend` — loading straight into SQLite with
+  native key enforcement;
+* :mod:`repro.runtime.streaming` — chunked, bounded-memory execution with
+  cross-chunk key reconciliation and optional multiprocessing fan-out;
+* :mod:`repro.runtime.cli` — ``python -m repro learn|run|migrate``.
+"""
+
+from .executor import (
+    ChunkMerger,
+    ExecutionBackend,
+    ExecutionReport,
+    MemoryBackend,
+    canonical_database_rows,
+    canonical_table_rows,
+    execute_plan,
+)
+from .plan import MigrationPlan, TablePlan
+from .plan_cache import PlanCache, spec_fingerprint
+from .sqlite_backend import (
+    SQLiteBackend,
+    SQLiteBackendError,
+    database_matches_sqlite,
+    load_database,
+)
+from .streaming import (
+    Chunk,
+    clone_subtree,
+    execute_plan_on_chunk,
+    iter_json_chunks,
+    iter_tree_chunks,
+    iter_xml_chunks,
+    stream_execute,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionReport",
+    "MemoryBackend",
+    "canonical_database_rows",
+    "canonical_table_rows",
+    "execute_plan",
+    "MigrationPlan",
+    "TablePlan",
+    "PlanCache",
+    "spec_fingerprint",
+    "SQLiteBackend",
+    "SQLiteBackendError",
+    "database_matches_sqlite",
+    "load_database",
+    "Chunk",
+    "ChunkMerger",
+    "clone_subtree",
+    "execute_plan_on_chunk",
+    "iter_json_chunks",
+    "iter_tree_chunks",
+    "iter_xml_chunks",
+    "stream_execute",
+]

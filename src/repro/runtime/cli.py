@@ -1,0 +1,392 @@
+"""Command-line interface: ``python -m repro`` / the ``repro-migrate`` script.
+
+Three subcommands cover the learn/run split that makes synthesized programs
+durable artifacts:
+
+* ``learn``   — synthesize a :class:`MigrationPlan` from a spec (cached on
+  disk keyed by the spec fingerprint) and optionally save it to a file;
+* ``run``     — execute an existing plan on a dataset, no synthesis;
+* ``migrate`` — learn (or load from cache) and run in one invocation.
+
+Everything is driven by a JSON *spec file*:
+
+.. code-block:: json
+
+    {
+      "format": "json",
+      "schema": { "kind": "database_schema", "name": "library", "tables": ["..."] },
+      "example_document": "example.json",
+      "examples": { "author": [["a1", "Ada Chen", "NZ"]] },
+      "document": "full.json",
+      "backend": "sqlite",
+      "output": "library.db"
+    }
+
+or, for the built-in synthetic datasets (demo mode):
+
+.. code-block:: json
+
+    { "dataset": "dblp", "scale": 5, "backend": "sqlite", "output": "dblp.db" }
+
+Relative paths inside the spec resolve against the spec file's directory.
+Command-line flags (``--backend``, ``--output``, ``--streaming``, ...)
+override the corresponding spec keys.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..codegen.sql_gen import generate_sql_dump
+from ..dsl.pretty import pretty_program
+from ..dsl.serialize import SerializationError, schema_from_json
+from ..hdt.json_plugin import json_file_to_hdt
+from ..hdt.tree import HDT
+from ..hdt.xml_plugin import xml_file_to_hdt
+from ..migration.engine import MigrationError, MigrationSpec, TableExampleSpec
+from ..relational.database import IntegrityError
+from ..relational.schema import SchemaError
+from .executor import ExecutionBackend, ExecutionReport, MemoryBackend, execute_plan
+from .plan import MigrationPlan
+from .plan_cache import DEFAULT_CACHE_DIR, PlanCache
+from .sqlite_backend import SQLiteBackend, SQLiteBackendError
+from .streaming import (
+    DEFAULT_CHUNK_SIZE,
+    iter_json_chunks,
+    iter_tree_chunks,
+    iter_xml_chunks,
+    stream_execute,
+)
+
+
+class CLIError(Exception):
+    """A user-facing error: printed to stderr, exit code 1."""
+
+
+# --------------------------------------------------------------------------- #
+# Spec loading
+# --------------------------------------------------------------------------- #
+
+
+class Spec:
+    """A parsed spec file plus the directory its relative paths resolve in."""
+
+    def __init__(self, payload: Dict[str, Any], base_dir: str) -> None:
+        self.payload = payload
+        self.base_dir = base_dir
+        self._bundle = None
+        self.default_format: Optional[str] = None
+        """Fallback format when the spec omits one — set from a loaded plan's
+        ``source_format`` so ``run --plan`` specs need not repeat it."""
+
+    @staticmethod
+    def load(path: str) -> "Spec":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise CLIError(f"cannot read spec file: {error}")
+        except json.JSONDecodeError as error:
+            raise CLIError(f"spec file is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise CLIError("spec file must contain a JSON object")
+        return Spec(payload, os.path.dirname(os.path.abspath(path)))
+
+    def resolve(self, path: str) -> str:
+        return path if os.path.isabs(path) else os.path.join(self.base_dir, path)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+    def get_int(self, key: str, default: int) -> int:
+        value = self.get(key, default)
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise CLIError(f'spec key "{key}" must be an integer (got {value!r})')
+
+    # ------------------------------------------------------------- datasets
+    @property
+    def dataset_bundle(self):
+        """The built-in dataset bundle when the spec uses demo mode."""
+        if self._bundle is None and self.get("dataset"):
+            from .. import datasets
+
+            name = str(self.get("dataset")).lower()
+            modules = {
+                "dblp": datasets.dblp,
+                "imdb": datasets.imdb,
+                "mondial": datasets.mondial,
+                "yelp": datasets.yelp,
+            }
+            if name not in modules:
+                raise CLIError(
+                    f"unknown dataset {name!r} (available: {', '.join(sorted(modules))})"
+                )
+            self._bundle = modules[name].dataset(scale=self.get_int("scale", 5))
+        return self._bundle
+
+    @property
+    def format(self) -> str:
+        if self.dataset_bundle is not None:
+            return self.dataset_bundle.format
+        fmt = self.get("format") or self.default_format
+        if fmt not in {"xml", "json"}:
+            raise CLIError('spec key "format" must be "xml" or "json"')
+        return fmt
+
+    # ------------------------------------------------------------ migration
+    def migration_spec(self) -> MigrationSpec:
+        if self.dataset_bundle is not None:
+            return self.dataset_bundle.migration_spec()
+        for key in ("schema", "example_document", "examples"):
+            if not self.get(key):
+                raise CLIError(f'spec is missing required key "{key}"')
+        schema = schema_from_json(self.get("schema"))
+        example_tree = self._load_document(self.resolve(self.get("example_document")))
+        examples = [
+            TableExampleSpec(table=name, rows=[tuple(row) for row in rows])
+            for name, rows in self.get("examples").items()
+        ]
+        return MigrationSpec(schema=schema, example_tree=example_tree, table_examples=examples)
+
+    def _load_document(self, path: str) -> HDT:
+        if not os.path.exists(path):
+            raise CLIError(f"document not found: {path}")
+        if self.format == "xml":
+            return xml_file_to_hdt(path)
+        return json_file_to_hdt(path)
+
+    def full_document(self) -> HDT:
+        """The full dataset as a materialized tree (whole-tree mode)."""
+        if self.get("document"):
+            return self._load_document(self.resolve(self.get("document")))
+        if self.dataset_bundle is not None:
+            return self.dataset_bundle.generate(self.get_int("scale", 5))
+        raise CLIError('spec is missing required key "document"')
+
+    def document_chunks(self, chunk_size: int):
+        """The full dataset as a bounded-memory chunk stream."""
+        if self.get("document"):
+            path = self.resolve(self.get("document"))
+            if not os.path.exists(path):
+                raise CLIError(f"document not found: {path}")
+            if self.format == "xml":
+                return iter_xml_chunks(path, chunk_size)
+            return iter_json_chunks(path, chunk_size)
+        if self.dataset_bundle is not None:
+            return iter_tree_chunks(
+                self.dataset_bundle.generate(self.get_int("scale", 5)), chunk_size
+            )
+        raise CLIError('spec is missing required key "document"')
+
+
+# --------------------------------------------------------------------------- #
+# Plan acquisition
+# --------------------------------------------------------------------------- #
+
+
+def _acquire_plan(args, spec: Spec, *, allow_learn: bool) -> Tuple[MigrationPlan, str]:
+    """Load or learn the plan; returns (plan, provenance-description)."""
+    if getattr(args, "plan", None):
+        try:
+            return MigrationPlan.load(args.plan), f"loaded from {args.plan}"
+        except OSError as error:
+            raise CLIError(f"cannot read plan file: {error}")
+        except (json.JSONDecodeError, KeyError, TypeError, SerializationError, SchemaError) as error:
+            raise CLIError(f"plan file {args.plan} is not a valid migration plan: {error}")
+    if not allow_learn:
+        raise CLIError("run requires --plan (use `migrate` to learn and run at once)")
+    migration_spec = spec.migration_spec()
+    if args.no_cache:
+        plan = MigrationPlan.learn(migration_spec)
+        plan.source_format = spec.format
+        return plan, "synthesized (cache disabled)"
+    cache = PlanCache(args.cache_dir or spec.get("cache_dir", DEFAULT_CACHE_DIR))
+    cached = cache.load(migration_spec)
+    if cached is not None:
+        return cached, f"cache hit ({cache.path_for(cached.metadata.get('spec_fingerprint', '?'))})"
+    plan = MigrationPlan.learn(migration_spec)
+    plan.source_format = spec.format
+    path = cache.store(migration_spec, plan)
+    return plan, f"synthesized and cached ({path})"
+
+
+def _make_backend(args, spec: Spec) -> Tuple[ExecutionBackend, Optional[str]]:
+    backend_name = args.backend or spec.get("backend", "memory")
+    if backend_name == "memory":
+        return MemoryBackend(), None
+    if backend_name == "sqlite":
+        output = args.output or spec.get("output")
+        if output is None:
+            raise CLIError('the sqlite backend needs an output path ("--output" or spec "output")')
+        output = spec.resolve(output)
+        if os.path.exists(output):
+            if not args.force:
+                raise CLIError(f"output {output} already exists (use --force to overwrite)")
+            os.remove(output)
+        return SQLiteBackend(output), output
+    raise CLIError(f"unknown backend {backend_name!r} (available: memory, sqlite)")
+
+
+def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Optional[str]]:
+    if plan.source_format and not spec.get("format") and not spec.get("dataset"):
+        spec.default_format = plan.source_format
+    streaming = args.streaming or bool(spec.get("streaming"))
+    if not streaming and (args.chunk_size is not None or args.workers is not None):
+        raise CLIError("--chunk-size and --workers only apply with --streaming")
+    backend, output = _make_backend(args, spec)
+    try:
+        if streaming:
+            chunk_size = (
+                args.chunk_size
+                if args.chunk_size is not None
+                else spec.get_int("chunk_size", DEFAULT_CHUNK_SIZE)
+            )
+            if chunk_size <= 0:
+                raise CLIError(f"--chunk-size must be positive (got {chunk_size})")
+            workers = args.workers if args.workers is not None else spec.get_int("workers", 0)
+            report = stream_execute(
+                plan, spec.document_chunks(chunk_size), backend, workers=workers
+            )
+        else:
+            report = execute_plan(plan, spec.full_document(), backend)
+    except Exception:
+        # Never leave a partial output database behind: close the connection
+        # (releasing -wal/-shm siblings) and remove the incomplete file.
+        if isinstance(backend, SQLiteBackend):
+            backend.close()
+            if output and os.path.exists(output):
+                os.remove(output)
+        raise
+    if isinstance(backend, SQLiteBackend):
+        sql_dump = args.sql_dump or spec.get("sql_dump")
+        if sql_dump:
+            with open(spec.resolve(sql_dump), "w", encoding="utf-8") as handle:
+                handle.write(backend.dump())
+        backend.close()
+    elif isinstance(backend, MemoryBackend):
+        sql_dump = args.sql_dump or spec.get("sql_dump")
+        if sql_dump and backend.database is not None:
+            with open(spec.resolve(sql_dump), "w", encoding="utf-8") as handle:
+                handle.write(generate_sql_dump(backend.database))
+    return report, output
+
+
+def _print_report(report: ExecutionReport, output: Optional[str]) -> None:
+    for table, count in report.per_table_rows.items():
+        print(f"  {table:28} {count:>10}")
+    chunk_note = f" over {report.chunks} chunk(s)" if report.chunks > 1 else ""
+    print(
+        f"loaded {report.total_rows} rows in {report.execution_time:.2f}s{chunk_note}"
+    )
+    if output:
+        print(f"database written to {output}")
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_learn(args) -> int:
+    spec = Spec.load(args.spec)
+    start = time.perf_counter()
+    plan, provenance = _acquire_plan(args, spec, allow_learn=True)
+    elapsed = time.perf_counter() - start
+    print(f"plan: {provenance} in {elapsed:.2f}s")
+    for table_schema in plan.execution_order():
+        table_plan = plan.table_plan(table_schema.name)
+        print(f"  {table_schema.name}: {pretty_program(table_plan.program)}")
+    if args.plan_out:
+        plan.save(args.plan_out)
+        print(f"plan saved to {args.plan_out}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = Spec.load(args.spec)
+    plan, provenance = _acquire_plan(args, spec, allow_learn=False)
+    print(f"plan: {provenance}")
+    report, output = _execute(args, spec, plan)
+    _print_report(report, output)
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    spec = Spec.load(args.spec)
+    start = time.perf_counter()
+    plan, provenance = _acquire_plan(args, spec, allow_learn=True)
+    print(f"plan: {provenance} in {time.perf_counter() - start:.2f}s")
+    report, output = _execute(args, spec, plan)
+    _print_report(report, output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learn-once/run-many migration of hierarchical data to relational tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--spec", required=True, help="path to the JSON spec file")
+        sub.add_argument("--plan", help="path to an existing plan JSON (skips synthesis)")
+        sub.add_argument("--no-cache", action="store_true", help="bypass the plan cache")
+        sub.add_argument("--cache-dir", help="plan cache directory (default: .repro-cache)")
+
+    def add_execution(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--backend", choices=["memory", "sqlite"], help="storage backend")
+        sub.add_argument("--output", help="output database path (sqlite backend)")
+        sub.add_argument("--force", action="store_true", help="overwrite an existing output file")
+        sub.add_argument("--sql-dump", help="also write a SQL dump to this path")
+        sub.add_argument(
+            "--streaming", action="store_true", help="chunked bounded-memory execution"
+        )
+        sub.add_argument("--chunk-size", type=int, help="records per chunk (streaming)")
+        sub.add_argument(
+            "--workers", type=int, help="multiprocessing fan-out across chunks (streaming)"
+        )
+
+    learn = subparsers.add_parser("learn", help="synthesize and save a migration plan")
+    add_common(learn)
+    learn.add_argument("--plan-out", help="write the learned plan to this file")
+    learn.set_defaults(handler=_cmd_learn)
+
+    run = subparsers.add_parser("run", help="execute an existing plan (no synthesis)")
+    add_common(run)
+    add_execution(run)
+    run.set_defaults(handler=_cmd_run)
+
+    migrate = subparsers.add_parser("migrate", help="learn (or load cached) and run")
+    add_common(migrate)
+    add_execution(migrate)
+    migrate.set_defaults(handler=_cmd_migrate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (
+        CLIError,
+        MigrationError,
+        IntegrityError,
+        SQLiteBackendError,
+        SerializationError,
+        SchemaError,
+    ) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

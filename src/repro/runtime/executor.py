@@ -1,0 +1,265 @@
+"""Plan execution against pluggable storage backends.
+
+The runtime separates *what to compute* (a :class:`MigrationPlan`) from
+*where the rows go* (an :class:`ExecutionBackend`).  Two backends ship with
+the reproduction:
+
+* :class:`MemoryBackend` — the in-memory :class:`~repro.relational.database.Database`
+  used by the research pipeline (constraint checks on every insert);
+* :class:`~repro.runtime.sqlite_backend.SQLiteBackend` — a real SQLite
+  database with native key enforcement (see that module).
+
+:func:`execute_plan` is the whole-tree entry point: it runs every table's
+program with the cross-product-free optimizer, generates keys exactly as the
+one-shot engine does, and loads the backend in foreign-key dependency order.
+For bounded-memory execution over large documents use
+:func:`repro.runtime.streaming.stream_execute` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..hdt.node import Scalar
+from ..hdt.tree import HDT
+from ..migration.engine import TableRowBatch, generate_table_rows
+from ..optimizer.optimize import execute_nodes
+from ..relational.database import Database
+from ..relational.schema import DatabaseSchema, TableSchema
+from .plan import MigrationPlan
+
+Row = Tuple[Scalar, ...]
+
+
+class ExecutionBackend:
+    """Where migrated rows are stored.
+
+    Lifecycle: ``begin(schema)`` once, ``insert_rows(table, rows)`` any number
+    of times (tables arrive in foreign-key dependency order), ``finalize()``
+    once.  Backends may buffer; only after ``finalize`` must all rows be
+    durable and constraint-checked.
+    """
+
+    def begin(self, schema: DatabaseSchema) -> None:
+        raise NotImplementedError
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        raise NotImplementedError
+
+
+class MemoryBackend(ExecutionBackend):
+    """Loads rows into the in-memory :class:`Database` (the research path)."""
+
+    def __init__(self, *, validate: bool = True) -> None:
+        self.validate = validate
+        self.database: Optional[Database] = None
+
+    def begin(self, schema: DatabaseSchema) -> None:
+        self.database = Database(schema)
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        assert self.database is not None, "begin() not called"
+        return self.database.insert_many(table, rows)
+
+    def finalize(self) -> None:
+        assert self.database is not None, "begin() not called"
+        if self.validate:
+            self.database.validate()
+
+
+@dataclass
+class _TableMergeState:
+    seen_keys: set = field(default_factory=set)
+    seen_rows: set = field(default_factory=set)
+    content_to_pk: Dict[Tuple[Scalar, ...], Optional[str]] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+
+class ChunkMerger:
+    """Deduplicate rows and reconcile surrogate keys across row batches.
+
+    Content deduplication can *drop* a surrogate-keyed row whose key other
+    rows still reference — within one document when a program relates columns
+    by data value (so distinct node tuples denote the same logical row), and
+    across streaming chunks when the same logical row is rebuilt from
+    different freshly-parsed nodes.  The merger keeps the first key for each
+    logical row, records aliases for every dropped key, and rewrites later
+    foreign-key references through the alias table.  Batches must arrive
+    table-by-table in foreign-key dependency order (referenced tables first);
+    one merger instance accumulates state over all batches of one execution.
+    """
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self._tables = {t.name: t for t in schema.tables}
+        self._state = {t.name: _TableMergeState() for t in schema.tables}
+
+    def merge(self, batch: TableRowBatch) -> List[Row]:
+        """Rows of this batch that should actually be inserted."""
+        table = self._tables[batch.table]
+        if table.natural_keys:
+            return self._merge_natural(table, batch)
+        return self._merge_surrogate(table, batch)
+
+    def key_aliases(self, table: str) -> Dict[str, str]:
+        """Surrogate keys dropped so far, mapped to the keys that replaced them."""
+        return self._state[table].aliases
+
+    # ------------------------------------------------------------- internals
+    def _merge_natural(self, table: TableSchema, batch: TableRowBatch) -> List[Row]:
+        state = self._state[table.name]
+        out: List[Row] = []
+        if table.primary_key is not None:
+            pk_index = table.column_names.index(table.primary_key)
+            for row in batch.rows:
+                if row[pk_index] in state.seen_keys:
+                    continue
+                state.seen_keys.add(row[pk_index])
+                out.append(row)
+            return out
+        for row in batch.rows:
+            if row in state.seen_rows:
+                continue
+            state.seen_rows.add(row)
+            out.append(row)
+        return out
+
+    def _merge_surrogate(self, table: TableSchema, batch: TableRowBatch) -> List[Row]:
+        state = self._state[table.name]
+        names = table.column_names
+        pk_index = names.index(table.primary_key) if table.primary_key is not None else None
+        fk_targets = [
+            (names.index(fk.column), fk.target_table)
+            for fk in table.foreign_keys
+            if not self._tables[fk.target_table].natural_keys
+        ]
+        out: List[Row] = []
+        for row in batch.rows:
+            values = list(row)
+            for fk_index, target in fk_targets:
+                value = values[fk_index]
+                if value is not None:
+                    values[fk_index] = self._state[target].aliases.get(value, value)
+            pk = values[pk_index] if pk_index is not None else None
+            content = tuple(v for i, v in enumerate(values) if i != pk_index)
+            if content in state.content_to_pk:
+                known = state.content_to_pk[content]
+                if pk is not None and known is not None:
+                    state.aliases[pk] = known
+                continue
+            state.content_to_pk[content] = pk
+            out.append(tuple(values))
+        # Keys the generator dropped *within* the batch alias to a kept key of
+        # the same batch, which may itself have been aliased to an earlier
+        # batch's key just above — compose the two mappings.
+        for dropped, kept in batch.key_aliases.items():
+            state.aliases[dropped] = state.aliases.get(kept, kept)
+        return out
+
+
+@dataclass
+class ExecutionReport:
+    """What happened during one plan execution."""
+
+    backend: ExecutionBackend
+    per_table_rows: Dict[str, int] = field(default_factory=dict)
+    execution_time: float = 0.0
+    chunks: int = 1
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.per_table_rows.values())
+
+
+def execute_plan(
+    plan: MigrationPlan,
+    dataset: HDT,
+    backend: Optional[ExecutionBackend] = None,
+) -> ExecutionReport:
+    """Execute a plan on a fully-materialized document.
+
+    Returns an :class:`ExecutionReport`; the populated storage is reachable
+    through ``report.backend`` (e.g. ``report.backend.database`` for the
+    memory backend).
+    """
+    backend = backend if backend is not None else MemoryBackend()
+    start = time.perf_counter()
+    backend.begin(plan.schema)
+    merger = ChunkMerger(plan.schema)
+    report = ExecutionReport(backend=backend)
+    for table_schema in plan.execution_order():
+        table_plan = plan.table_plan(table_schema.name)
+        node_rows = execute_nodes(table_plan.program, dataset)
+        batch = generate_table_rows(
+            table_schema, table_plan.data_columns, table_plan.foreign_key_rules, node_rows
+        )
+        report.per_table_rows[table_schema.name] = backend.insert_rows(
+            table_schema.name, merger.merge(batch)
+        )
+    backend.finalize()
+    report.execution_time = time.perf_counter() - start
+    return report
+
+
+def canonical_table_rows(
+    schema: DatabaseSchema, rows_by_table: Dict[str, Sequence[Row]]
+) -> Dict[str, List[Row]]:
+    """Rows with surrogate keys renamed to deterministic first-occurrence ids.
+
+    Surrogate keys are injective but arbitrary (they embed process-local node
+    uids), so two runs of the same migration produce equal databases only *up
+    to a renaming* of the generated keys.  This helper applies that renaming:
+    each generated key becomes ``"<table>:<n>"`` in order of first appearance,
+    and foreign-key columns are rewritten through the same mapping.  Natural
+    -key tables are returned untouched.  Two executions are equivalent iff
+    their canonical forms are equal.
+    """
+    by_name = {t.name: t for t in schema.tables}
+    renaming: Dict[str, Dict[Scalar, str]] = {t.name: {} for t in schema.tables}
+    canonical: Dict[str, List[Row]] = {}
+    for table_schema in schema.topological_order():
+        rows = list(rows_by_table.get(table_schema.name, []))
+        if table_schema.natural_keys:
+            canonical[table_schema.name] = rows
+            continue
+        names = table_schema.column_names
+        pk_index = (
+            names.index(table_schema.primary_key)
+            if table_schema.primary_key is not None
+            else None
+        )
+        fk_indices = {
+            names.index(fk.column): fk.target_table for fk in table_schema.foreign_keys
+        }
+        out: List[Row] = []
+        for row in rows:
+            new_row = list(row)
+            if pk_index is not None:
+                mapping = renaming[table_schema.name]
+                if row[pk_index] not in mapping:
+                    mapping[row[pk_index]] = f"{table_schema.name}:{len(mapping)}"
+                new_row[pk_index] = mapping[row[pk_index]]
+            for index, target in fk_indices.items():
+                value = row[index]
+                if value is None:
+                    continue
+                target_schema = by_name[target]
+                if target_schema.natural_keys:
+                    continue
+                new_row[index] = renaming[target].get(value, value)
+            out.append(tuple(new_row))
+        canonical[table_schema.name] = out
+    return canonical
+
+
+def canonical_database_rows(database: Database) -> Dict[str, List[Row]]:
+    """Canonical form (see :func:`canonical_table_rows`) of a loaded database."""
+    return canonical_table_rows(
+        database.schema,
+        {name: table.rows for name, table in database.tables.items()},
+    )

@@ -1,0 +1,110 @@
+"""On-disk plan cache keyed by a fingerprint of the migration spec.
+
+Synthesis is the expensive step of the pipeline — seconds to minutes per
+table — while plan execution is linear in the data.  The cache makes the
+"learn once" economics real for repeated CLI invocations: a
+:class:`~repro.migration.engine.MigrationSpec` is fingerprinted over its
+target schema, example document and example tables, and the learned
+:class:`~repro.runtime.plan.MigrationPlan` is stored as JSON under that
+fingerprint.  Any change to the spec (schema, example document content or
+example rows) changes the fingerprint and forces a fresh synthesis; the full
+dataset never participates in the fingerprint, so one plan serves any number
+of documents with the learned shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterator, List, Optional
+
+from ..dsl.serialize import schema_to_json
+from ..hdt.node import Node
+from ..hdt.tree import HDT
+from ..migration.engine import MigrationSpec
+from .plan import MigrationPlan
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def tree_fingerprint_items(tree: HDT) -> Iterator[str]:
+    """A canonical line-per-node rendering of a tree (preorder, identity-free).
+
+    Depth is part of each line: preorder alone cannot distinguish a child
+    from a following sibling, and two differently-nested documents must not
+    collide (they can synthesize to different programs).
+    """
+    stack: List[tuple] = [(tree.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        data = node.data
+        shape = type(data).__name__ if data is not None else "none"
+        yield f"{depth}\x00{node.tag}\x00{node.pos}\x00{shape}\x00{data!r}"
+        stack.extend((child, depth + 1) for child in reversed(node.children))
+
+
+def spec_fingerprint(spec: MigrationSpec) -> str:
+    """A stable hex digest identifying a migration spec's *learnable content*."""
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(schema_to_json(spec.schema), sort_keys=True).encode("utf-8")
+    )
+    for item in tree_fingerprint_items(spec.example_tree):
+        digest.update(item.encode("utf-8"))
+        digest.update(b"\n")
+    for example in spec.table_examples:
+        digest.update(example.table.encode("utf-8"))
+        digest.update(repr(example.rows).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class PlanCache:
+    """A directory of ``<fingerprint>.plan.json`` files."""
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = directory
+
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.plan.json")
+
+    def load(self, spec: MigrationSpec) -> Optional[MigrationPlan]:
+        """The cached plan for this spec, or ``None`` on a miss.
+
+        A corrupt or unreadable cache file is treated as a miss (and removed)
+        rather than an error: the cache must never be able to wedge the
+        pipeline — the worst case is one redundant synthesis run.
+        """
+        path = self.path_for(spec_fingerprint(spec))
+        if not os.path.exists(path):
+            return None
+        try:
+            return MigrationPlan.load(path)
+        except Exception:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def store(self, spec: MigrationSpec, plan: MigrationPlan) -> str:
+        """Persist a plan under the spec's fingerprint; returns the file path."""
+        fingerprint = spec_fingerprint(spec)
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(fingerprint)
+        plan.metadata.setdefault("spec_fingerprint", fingerprint)
+        # Write-then-rename so an interrupted store never leaves a truncated
+        # cache entry behind.
+        temporary = f"{path}.tmp.{os.getpid()}"
+        plan.save(temporary)
+        os.replace(temporary, path)
+        return path
+
+    def learn_or_load(self, spec: MigrationSpec, engine=None) -> MigrationPlan:
+        """Return the cached plan, or synthesize, cache and return a fresh one."""
+        cached = self.load(spec)
+        if cached is not None:
+            return cached
+        plan = MigrationPlan.learn(spec, engine)
+        self.store(spec, plan)
+        return plan
