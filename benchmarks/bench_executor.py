@@ -1,0 +1,164 @@
+"""Benchmark E1: the streaming fused-dedup executor — cross-PR perf record.
+
+Runs the **full, unrestricted** 9-table DBLP plan (author link tables
+included — the workload that was quadratic before the fused-dedup executor)
+at scale 2000 and 10000, whole-tree and streaming, against the in-memory and
+SQLite backends, and writes a machine-readable record to ``BENCH_PR2.json``
+at the repository root so the perf trajectory can be compared across PRs.
+The record includes the pre-rework baseline (10,535 rows/sec whole-tree
+in-memory, *restricted* to the four linear tables — as ``runtime_perf.json``
+recorded at the PR-1 commit) and the measured speedup against it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py           # full record
+    PYTHONPATH=src python benchmarks/bench_executor.py --smoke   # CI guard
+
+``--smoke`` runs a small scale and fails (exit 1) unless the full
+unrestricted plan finishes well under 60 s — a quadratic regression in the
+value-join path makes even the small scale blow through the limit.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import dblp  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    MemoryBackend,
+    MigrationPlan,
+    SQLiteBackend,
+    execute_plan,
+    iter_tree_chunks,
+    stream_execute,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_PR2.json")
+
+#: The pre-rework executor's whole-tree in-memory throughput, as recorded by
+#: ``benchmarks/runtime_perf.json`` at the PR-1 commit (plan restricted to
+#: the four linear tables — the full plan was infeasible then).  Pinned here
+#: because ``bench_runtime.py`` overwrites that file with post-rework
+#: numbers; the cross-PR speedup must keep comparing against the old engine.
+PRE_REWORK_BASELINE = {
+    "rows_per_sec": 10535,
+    "scale": 2000,
+    "tables": ["journal", "article", "www", "www_editor"],
+    "note": "pre-rework executor (PR 1), plan restricted to the linear tables",
+}
+
+CHUNK_SIZE = 1000
+SMOKE_SCALE = 200
+SMOKE_LIMIT_SECONDS = 60.0
+
+
+def _measure(label, run, rounds=2):
+    """Best-of-N wall-clock (cross-PR records should not be noise-bound)."""
+    elapsed = None
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        report = run()
+        duration = time.perf_counter() - start
+        elapsed = duration if elapsed is None else min(elapsed, duration)
+    result = {
+        "rows": report.total_rows,
+        "seconds": round(elapsed, 4),
+        "rows_per_sec": round(report.total_rows / max(elapsed, 1e-9)),
+        "chunks": report.chunks,
+    }
+    print(f"  {label:24s} {result['rows']:>8d} rows  {result['seconds']:>8.2f}s  "
+          f"{result['rows_per_sec']:>8d} rows/s")
+    return result
+
+
+def _run_scale(plan, scale):
+    document = dblp.dataset(scale=scale).generate(scale)
+    records = len(document.root.children)
+    print(f"scale {scale} ({records} records):")
+    results = {
+        "records": records,
+        "whole_tree_memory": _measure(
+            "whole-tree memory", lambda: execute_plan(plan, document, MemoryBackend())
+        ),
+        "whole_tree_sqlite": _measure(
+            "whole-tree sqlite", lambda: execute_plan(plan, document, SQLiteBackend())
+        ),
+        "streaming_memory": _measure(
+            "streaming memory",
+            lambda: stream_execute(plan, iter_tree_chunks(document, CHUNK_SIZE)),
+        ),
+        "streaming_sqlite": _measure(
+            "streaming sqlite",
+            lambda: stream_execute(
+                plan, iter_tree_chunks(document, CHUNK_SIZE), SQLiteBackend()
+            ),
+        ),
+    }
+    truth = dblp.ground_truth_counts(scale)
+    expected = sum(truth.values())
+    for name, result in results.items():
+        if name != "records" and result["rows"] != expected:
+            raise SystemExit(
+                f"row count mismatch at scale {scale}/{name}: "
+                f"{result['rows']} != {expected}"
+            )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI guard: scale {SMOKE_SCALE}, assert < {SMOKE_LIMIT_SECONDS:.0f}s")
+    parser.add_argument("--scales", type=int, nargs="*", default=[2000, 10000])
+    args = parser.parse_args(argv)
+
+    print("learning the DBLP plan (synthesis, once)...")
+    start = time.perf_counter()
+    plan = MigrationPlan.learn(dblp.dataset(scale=3).migration_spec())
+    print(f"  learned in {time.perf_counter() - start:.1f}s "
+          f"({len(plan.schema.tables)} tables, no restrict())")
+
+    if args.smoke:
+        start = time.perf_counter()
+        _run_scale(plan, SMOKE_SCALE)
+        elapsed = time.perf_counter() - start
+        if elapsed >= SMOKE_LIMIT_SECONDS:
+            print(f"SMOKE FAIL: full plan at scale {SMOKE_SCALE} took {elapsed:.1f}s "
+                  f"(limit {SMOKE_LIMIT_SECONDS:.0f}s) — quadratic regression?")
+            return 1
+        print(f"smoke ok: {elapsed:.1f}s < {SMOKE_LIMIT_SECONDS:.0f}s")
+        return 0
+
+    baseline = PRE_REWORK_BASELINE
+    payload = {
+        "benchmark": "executor",
+        "pr": 2,
+        "dataset": "DBLP",
+        "plan": "full (9 tables, author link tables included, no restrict())",
+        "chunk_size": CHUNK_SIZE,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "baseline": baseline,
+        "results": {},
+    }
+    for scale in args.scales:
+        payload["results"][str(scale)] = _run_scale(plan, scale)
+
+    reference = payload["results"].get("2000", next(iter(payload["results"].values())))
+    payload["speedup_vs_baseline"] = round(
+        reference["whole_tree_memory"]["rows_per_sec"] / baseline["rows_per_sec"], 2
+    )
+    with open(RECORD_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {RECORD_PATH} (speedup vs baseline: {payload['speedup_vs_baseline']}x, "
+          f"baseline measured on the restricted linear-table plan)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

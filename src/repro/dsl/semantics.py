@@ -24,7 +24,7 @@ from itertools import product
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..hdt.node import Node, Scalar
-from ..hdt.tree import HDT
+from ..hdt.tree import HDT, TagIndex
 from .ast import (
     And,
     Child,
@@ -61,39 +61,58 @@ class EvaluationError(Exception):
 # --------------------------------------------------------------------------- #
 
 
+#: Distinguishes "not cached yet" from any cached value (including ``[]``):
+#: empty column results are legitimate and must be cache hits, and a stray
+#: ``None`` stored in the cache must not be returned as a result.
+_CACHE_MISS = object()
+
+
 def eval_column(
     extractor: ColumnExtractor,
     nodes: Sequence[Node],
     *,
     cache: Optional[Dict] = None,
+    index: Optional[TagIndex] = None,
 ) -> List[Node]:
     """Evaluate a column extractor on an ordered set of nodes.
 
     ``cache`` is an optional memoization dictionary keyed by
-    ``(extractor, tuple of node uids)``; the optimizer shares one cache across
-    all columns of a program so that common prefixes are evaluated once.
+    ``(extractor, tuple of node uids)`` — a frozen, hashable key — so the
+    optimizer can share one cache across all columns of a program and common
+    prefixes are evaluated once.  ``index`` is an optional
+    :class:`~repro.hdt.tree.TagIndex`; when provided, ``Descendants`` and
+    ``Children`` steps answer from the index instead of re-traversing the
+    document.
     """
     if cache is not None:
         key = (extractor, tuple(n.uid for n in nodes))
-        hit = cache.get(key)
-        if hit is not None:
+        hit = cache.get(key, _CACHE_MISS)
+        if hit is not _CACHE_MISS and hit is not None:
             return hit
 
-    result = _eval_column(extractor, nodes, cache)
+    result = _eval_column(extractor, nodes, cache, index)
 
     if cache is not None:
         cache[key] = result
     return result
 
 
-def _eval_column(extractor: ColumnExtractor, nodes: Sequence[Node], cache) -> List[Node]:
+def _eval_column(
+    extractor: ColumnExtractor,
+    nodes: Sequence[Node],
+    cache,
+    index: Optional[TagIndex],
+) -> List[Node]:
     if isinstance(extractor, Var):
         return _dedupe(nodes)
     if isinstance(extractor, Children):
-        sources = eval_column(extractor.source, nodes, cache=cache)
+        sources = eval_column(extractor.source, nodes, cache=cache, index=index)
+        if index is not None:
+            children = index.children_with_tag
+            return _dedupe(c for n in sources if index.covers(n) for c in children(n, extractor.tag))
         return _dedupe(c for n in sources for c in n.children_with_tag(extractor.tag))
     if isinstance(extractor, PChildren):
-        sources = eval_column(extractor.source, nodes, cache=cache)
+        sources = eval_column(extractor.source, nodes, cache=cache, index=index)
         out: List[Node] = []
         for n in sources:
             child = n.child_with(extractor.tag, extractor.pos)
@@ -101,16 +120,32 @@ def _eval_column(extractor: ColumnExtractor, nodes: Sequence[Node], cache) -> Li
                 out.append(child)
         return _dedupe(out)
     if isinstance(extractor, Descendants):
-        sources = eval_column(extractor.source, nodes, cache=cache)
+        sources = eval_column(extractor.source, nodes, cache=cache, index=index)
+        if index is not None:
+            descendants = index.descendants_with_tag
+            return _dedupe(
+                d for n in sources if index.covers(n) for d in descendants(n, extractor.tag)
+            )
         return _dedupe(d for n in sources for d in n.descendants_with_tag(extractor.tag))
     raise EvaluationError(f"unknown column extractor: {extractor!r}")
 
 
 def eval_column_on_tree(
-    extractor: ColumnExtractor, tree: HDT, *, cache: Optional[Dict] = None
+    extractor: ColumnExtractor,
+    tree: HDT,
+    *,
+    cache: Optional[Dict] = None,
+    use_index: bool = True,
 ) -> List[Node]:
-    """Evaluate ``(λs.π){root(τ)}`` — i.e. apply the extractor to the root."""
-    return eval_column(extractor, [tree.root], cache=cache)
+    """Evaluate ``(λs.π){root(τ)}`` — i.e. apply the extractor to the root.
+
+    ``use_index=True`` (the default) builds/reuses the tree's
+    :class:`~repro.hdt.tree.TagIndex` so repeated ``descendants``/``children``
+    steps stop re-traversing the document; pass ``False`` to force the plain
+    traversal (the reference semantics used by equivalence tests).
+    """
+    index = tree.tag_index() if use_index else None
+    return eval_column(extractor, [tree.root], cache=cache, index=index)
 
 
 def _dedupe(nodes: Iterable[Node]) -> List[Node]:

@@ -1,7 +1,7 @@
 """Hierarchical data tree (HDT) substrate: node model and format plug-ins."""
 
 from .node import Node, Scalar
-from .tree import HDT, build_tree
+from .tree import HDT, TagIndex, build_tree
 from .xml_plugin import hdt_to_xml, xml_file_to_hdt, xml_to_hdt
 from .json_plugin import hdt_to_json, hdt_to_json_string, json_file_to_hdt, json_to_hdt
 
@@ -9,6 +9,7 @@ __all__ = [
     "Node",
     "Scalar",
     "HDT",
+    "TagIndex",
     "build_tree",
     "xml_to_hdt",
     "xml_file_to_hdt",

@@ -83,10 +83,20 @@ class Node:
         return None
 
     def descendants(self) -> Iterator["Node"]:
-        """All proper descendants in document (pre-)order."""
-        for child in self.children:
-            yield child
-            yield from child.descendants()
+        """All proper descendants in document (pre-)order.
+
+        Implemented with an explicit stack: documents are wide and can be
+        deep, and the generator is on the hottest path of the executor, so
+        avoiding one nested generator frame per tree level matters (and deep
+        trees no longer risk the interpreter recursion limit).
+        """
+        stack = list(reversed(self.children))
+        pop = stack.pop
+        while stack:
+            node = pop()
+            yield node
+            if node.children:
+                stack.extend(reversed(node.children))
 
     def descendants_with_tag(self, tag: str) -> List["Node"]:
         """All proper descendants whose tag equals ``tag`` (document order)."""

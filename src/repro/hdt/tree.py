@@ -9,9 +9,96 @@ the "#Elements" column of Table 1 in the paper).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .node import Node, Scalar
+
+
+class TagIndex:
+    """Tag → document-ordered node list, with pre-order subtree intervals.
+
+    Built once per tree (or per streaming chunk) in a single O(n) walk; after
+    that, ``Descendants``/``Children`` extractors answer from the index
+    instead of re-traversing the document:
+
+    * :meth:`nodes_with_tag` — every node carrying a tag, document order;
+    * :meth:`descendants_with_tag` — the tag's nodes inside one subtree,
+      found by binary search over pre-order entry numbers (a subtree is a
+      contiguous pre-order interval), so the cost is O(log n + answer);
+    * :meth:`children_with_tag` — same lookup restricted to depth + 1.
+
+    Node uids are process-unique but *not* document-ordered (cloned chunk
+    subtrees create nodes out of order), so the index assigns its own
+    pre-order numbering and keeps it in uid-keyed dictionaries rather than on
+    the slotted :class:`Node` instances.  Like :meth:`HDT.node_by_uid`, the
+    index assumes the tree is not mutated after it is built.
+    """
+
+    def __init__(self, root: Node) -> None:
+        self._root = root
+        self._entry: Dict[int, int] = {}
+        self._exit: Dict[int, int] = {}
+        self._depth: Dict[int, int] = {}
+        self._by_tag: Dict[str, List[Node]] = {}
+        self._entries_by_tag: Dict[str, List[int]] = {}
+        self._depths_by_tag: Dict[str, List[int]] = {}
+        counter = 0
+        stack: List[Tuple[Node, int, bool]] = [(root, 0, False)]
+        while stack:
+            node, depth, done = stack.pop()
+            if done:
+                self._exit[node.uid] = counter - 1
+                continue
+            self._entry[node.uid] = counter
+            self._depth[node.uid] = depth
+            self._by_tag.setdefault(node.tag, []).append(node)
+            self._entries_by_tag.setdefault(node.tag, []).append(counter)
+            self._depths_by_tag.setdefault(node.tag, []).append(depth)
+            counter += 1
+            stack.append((node, depth, True))
+            for child in reversed(node.children):
+                stack.append((child, depth + 1, False))
+
+    def covers(self, node: Node) -> bool:
+        """Does this index know the node (i.e. was it in the indexed tree)?"""
+        return node.uid in self._entry
+
+    def nodes_with_tag(self, tag: str) -> List[Node]:
+        """All nodes with the tag, in document order (may include the root)."""
+        return self._by_tag.get(tag, [])
+
+    def descendants_with_tag(self, node: Node, tag: str) -> List[Node]:
+        """Proper descendants of ``node`` with the tag, document order."""
+        nodes = self._by_tag.get(tag)
+        if not nodes:
+            return []
+        entries = self._entries_by_tag[tag]
+        start = self._entry[node.uid]
+        lo = bisect_right(entries, start)
+        hi = bisect_right(entries, self._exit[node.uid])
+        return nodes[lo:hi]
+
+    def children_with_tag(self, node: Node, tag: str) -> List[Node]:
+        """Direct children of ``node`` with the tag, document order.
+
+        Scans whichever candidate set is smaller: the node's child list, or
+        the tag's pre-order slice inside the node's subtree (e.g. a root with
+        50k children but few ``article`` descendants, or vice versa).
+        """
+        nodes = self._by_tag.get(tag)
+        if not nodes:
+            return []
+        entries = self._entries_by_tag[tag]
+        lo = bisect_right(entries, self._entry[node.uid])
+        hi = bisect_right(entries, self._exit[node.uid])
+        if hi - lo >= len(node.children):
+            return [c for c in node.children if c.tag == tag]
+        depths = self._depths_by_tag[tag]
+        child_depth = self._depth[node.uid] + 1
+        return [
+            nodes[i] for i in range(lo, hi) if depths[i] == child_depth
+        ]
 
 
 class HDT:
@@ -20,6 +107,7 @@ class HDT:
     def __init__(self, root: Node) -> None:
         self.root = root
         self._uid_index: Optional[Dict[int, Node]] = None
+        self._tag_index: Optional[TagIndex] = None
 
     # --------------------------------------------------------------- queries
     def nodes(self) -> Iterator[Node]:
@@ -90,6 +178,21 @@ class HDT:
         if self._uid_index is None:
             self._uid_index = {n.uid: n for n in self.nodes()}
         return self._uid_index[uid]
+
+    def tag_index(self) -> TagIndex:
+        """The tree's :class:`TagIndex`, built lazily on first use.
+
+        Like :meth:`node_by_uid`, the index assumes the tree is no longer
+        mutated; call :meth:`invalidate_indexes` after structural changes.
+        """
+        if self._tag_index is None:
+            self._tag_index = TagIndex(self.root)
+        return self._tag_index
+
+    def invalidate_indexes(self) -> None:
+        """Drop cached indexes after mutating the tree in place."""
+        self._uid_index = None
+        self._tag_index = None
 
     def find_all(self, tag: str) -> List[Node]:
         """All nodes (including the root) with the given tag, document order."""

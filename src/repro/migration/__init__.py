@@ -8,7 +8,9 @@ from .engine import (
     TableExampleSpec,
     TableProgram,
     TableRowBatch,
+    consumed_projection,
     generate_table_rows,
+    iter_generate_table_rows,
 )
 from .keys import ForeignKeyRule, LinkRule, key_of, learn_link_rules, path_extractor
 
@@ -20,7 +22,9 @@ __all__ = [
     "TableExampleSpec",
     "TableProgram",
     "TableRowBatch",
+    "consumed_projection",
     "generate_table_rows",
+    "iter_generate_table_rows",
     "ForeignKeyRule",
     "LinkRule",
     "key_of",

@@ -25,13 +25,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..dsl.ast import Program
 from ..dsl.semantics import NodeTuple
 from ..hdt.node import Scalar
 from ..hdt.tree import HDT
-from ..optimizer.optimize import execute_nodes
+from ..optimizer.optimize import (
+    DATA,
+    IGNORED,
+    TupleProjection,
+    execute_nodes,
+    iter_execute_nodes,
+)
 from ..relational.database import Database
 from ..relational.schema import DatabaseSchema, TableSchema
 from ..synthesis.config import DEFAULT_CONFIG, SynthesisConfig
@@ -61,42 +67,55 @@ class TableRowBatch:
     key_aliases: Dict[str, str] = field(default_factory=dict)
 
 
-def generate_table_rows(
+def iter_generate_table_rows(
     schema: TableSchema,
     data_columns: Sequence[str],
     foreign_key_rules: Sequence[ForeignKeyRule],
-    node_rows: Sequence[NodeTuple],
-) -> TableRowBatch:
-    """Turn a program's node tuples into schema-ordered rows with keys.
+    node_rows: Iterable[NodeTuple],
+    *,
+    key_aliases: Optional[Dict[str, str]] = None,
+) -> Iterator[Tuple[Scalar, ...]]:
+    """Stream a program's node tuples into schema-ordered, deduplicated rows.
 
     This is the single implementation of the paper's key-generation step
     (Section 6): natural-key tables take every column directly from the
     document (deduplicated on the primary key, or on the whole row when the
     table has no primary key); surrogate-key tables derive the primary key
     from the defining node tuple via :func:`~repro.migration.keys.key_of` and
-    foreign keys via the learned :class:`ForeignKeyRule`s.  Both the one-shot
-    :class:`MigrationEngine` and the streaming runtime
-    (:mod:`repro.runtime.streaming`) call it.
+    foreign keys via the learned :class:`ForeignKeyRule`s.
+
+    ``node_rows`` may be any iterable — in particular the lazy tuple stream
+    of :func:`repro.optimizer.optimize.iter_execute_nodes` — and rows are
+    yielded as soon as they are decided, so the whole pipeline from document
+    to backend runs in fixed memory.  For surrogate-key tables, pass a
+    ``key_aliases`` dictionary to collect the keys dropped by content
+    deduplication (each maps to the key that was kept); the mapping is
+    complete once the generator is exhausted.
     """
     column_names = schema.column_names
     data_indices = {name: index for index, name in enumerate(data_columns)}
     fk_rules = {rule.column: rule for rule in foreign_key_rules}
-    batch = TableRowBatch(table=schema.name, rows=[])
     seen_keys: set = set()
     if schema.natural_keys:
         seen_rows: set = set()
+        pk_index = (
+            column_names.index(schema.primary_key)
+            if schema.primary_key is not None
+            else None
+        )
         for node_row in node_rows:
             row = tuple(node_row[data_indices[name]].data for name in column_names)
-            if schema.primary_key is not None:
-                pk_value = row[column_names.index(schema.primary_key)]
+            if pk_index is not None:
+                pk_value = row[pk_index]
                 if pk_value in seen_keys:
                     continue
                 seen_keys.add(pk_value)
             elif row in seen_rows:
                 continue
-            seen_rows.add(row)
-            batch.rows.append(row)
-        return batch
+            else:
+                seen_rows.add(row)
+            yield row
+        return
     seen_content: Dict[Tuple[Scalar, ...], str] = {}
     for node_row in node_rows:
         primary_key = key_of(node_row)
@@ -119,12 +138,61 @@ def generate_table_rows(
             value for name, value in zip(column_names, row) if name != schema.primary_key
         )
         if content in seen_content:
-            if schema.primary_key is not None:
-                batch.key_aliases[primary_key] = seen_content[content]
+            if key_aliases is not None and schema.primary_key is not None:
+                key_aliases[primary_key] = seen_content[content]
             continue
         seen_content[content] = primary_key
-        batch.rows.append(tuple(row))
+        yield tuple(row)
+
+
+def generate_table_rows(
+    schema: TableSchema,
+    data_columns: Sequence[str],
+    foreign_key_rules: Sequence[ForeignKeyRule],
+    node_rows: Iterable[NodeTuple],
+) -> TableRowBatch:
+    """Materialized convenience wrapper around :func:`iter_generate_table_rows`.
+
+    Used where a whole batch is needed at once (the multiprocessing chunk
+    fan-out pickles batches between processes); the streaming executor
+    consumes the generator directly.
+    """
+    batch = TableRowBatch(table=schema.name, rows=[])
+    batch.rows.extend(
+        iter_generate_table_rows(
+            schema,
+            data_columns,
+            foreign_key_rules,
+            node_rows,
+            key_aliases=batch.key_aliases,
+        )
+    )
     return batch
+
+
+def consumed_projection(
+    schema: TableSchema, data_columns: Sequence[str], arity: int
+) -> Optional[TupleProjection]:
+    """How :func:`iter_generate_table_rows` consumes a table's node tuples.
+
+    Natural-key tables read only the *data* of the columns named in the
+    schema (any extra program columns are never read), so the executor may
+    collapse value-join groups to per-value representatives — the fused dedup
+    that keeps e.g. the DBLP author link tables linear.  Surrogate-key tables
+    consume node *identity* (the primary key hashes every node's uid and the
+    dropped-key alias bookkeeping must see every collapsed tuple), so they
+    get ``None`` — the exact tuple-level semantics.
+    """
+    if not schema.natural_keys:
+        return None
+    used = {
+        index
+        for index, name in enumerate(data_columns)
+        if name in schema.column_names
+    }
+    return TupleProjection(
+        tuple(DATA if index in used else IGNORED for index in range(arity))
+    )
 
 
 @dataclass
@@ -367,14 +435,27 @@ class MigrationEngine:
     def _populate_table(
         self, database: Database, table_program: TableProgram, dataset: HDT
     ) -> int:
-        """Run one table's program on the dataset and insert rows with keys."""
-        node_rows = execute_nodes(table_program.program, dataset)
-        batch = generate_table_rows(
+        """Run one table's program on the dataset and insert rows with keys.
+
+        The whole pipeline is streamed: node tuples flow out of the fused
+        executor straight into key generation and row insertion, one tuple at
+        a time.
+        """
+        projection = consumed_projection(
+            table_program.schema,
+            table_program.data_columns,
+            table_program.program.arity,
+        )
+        node_rows = iter_execute_nodes(
+            table_program.program, dataset, projection=projection
+        )
+        count = 0
+        for row in iter_generate_table_rows(
             table_program.schema,
             table_program.data_columns,
             table_program.foreign_key_rules,
             node_rows,
-        )
-        for row in batch.rows:
-            database.insert(batch.table, row)
-        return len(batch.rows)
+        ):
+            database.insert(table_program.schema.name, row)
+            count += 1
+        return count

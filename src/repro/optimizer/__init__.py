@@ -8,7 +8,14 @@ from .cnf import (
     push_negations,
     to_cnf_clauses,
 )
-from .optimize import ExecutionPlan, execute, execute_nodes, plan
+from .optimize import (
+    ExecutionPlan,
+    TupleProjection,
+    execute,
+    execute_nodes,
+    iter_execute_nodes,
+    plan,
+)
 
 __all__ = [
     "clause_column",
@@ -18,7 +25,9 @@ __all__ = [
     "push_negations",
     "to_cnf_clauses",
     "ExecutionPlan",
+    "TupleProjection",
     "execute",
     "execute_nodes",
+    "iter_execute_nodes",
     "plan",
 ]

@@ -1,42 +1,74 @@
-"""Cross-product-free execution of synthesized programs (Section 6, Appendix C).
+"""Streaming, cross-product-free execution of synthesized programs.
 
 Programs in the DSL are deliberately written as ``filter(π1 × ... × πk, φ)``,
 which is easy to synthesize but expensive to execute naively: the intermediate
-table is the full cartesian product of the extracted columns.  The paper's
-optimizer avoids materializing that product by using the filter predicate to
-guide table generation.
-
-This module implements the equivalent optimization as a small query planner:
+table is the full cartesian product of the extracted columns.  The paper
+(Section 6, Appendix C) avoids materializing that product by using the filter
+predicate to guide table generation; this module implements that idea as a
+small query planner plus a *streaming* executor:
 
 1. the predicate is converted to CNF (:mod:`repro.optimizer.cnf`);
 2. *single-column* clauses are pushed down and applied while scanning the
    column they mention;
-3. *equi-join* clauses (node-equality between two different columns) are
-   executed as hash joins, joining one column at a time into a growing set of
-   partial tuples;
+3. *equi-join* clauses (equality between two different columns) are executed
+   as hash joins — on node identity when the compared nodes are internal, on
+   **canonical data values** when they are leaves (value-equality joins, e.g.
+   columns related through a shared constant or position value);
 4. any residual clauses are applied to the final tuples.
 
-Column extraction is memoized so that columns sharing a prefix (the common
-case after synthesis — e.g. both columns start with ``children(s, Person)``)
-do not re-traverse the document, mirroring the "memoizing shared computations"
-optimization described in Section 1/6 of the paper.
+Execution is a generator pipeline: :func:`iter_execute_nodes` yields node
+tuples one at a time from a depth-first walk over the join steps, so no
+intermediate tuple list is ever materialized and downstream consumers (the
+migration engine's row generation, the runtime's backends) run in fixed
+memory.
 
-The public entry point :func:`execute` is a drop-in, semantics-preserving
-replacement for :func:`repro.dsl.semantics.run_program`; the ablation benchmark
-``benchmarks/bench_ablation_optimizer.py`` quantifies the speedup.
+**Fused dedup.**  Value-equality joins can have output quadratic in the
+document size even though the final table is linear: a join on a column with
+``d`` distinct data values produces groups of ``n/d`` nodes each, while the
+target table consumes only each node's *data* — so every group collapses to
+one row per distinct value downstream.  When the caller passes a
+:class:`TupleProjection` describing which columns the target table actually
+consumes (by ``data``, by node ``identity``, or not at all), the executor
+dedups each hash-join group to its representatives *before* the group is
+enumerated, which restores linear output for exactly the quadratic case
+(e.g. the DBLP author link tables joining on 3 distinct position values).
+A column is fused only when nothing later in the pipeline can distinguish
+the collapsed nodes: its projection is not ``identity``, no residual clause
+mentions it, and every join clause involving it is applied at its own join
+step.
+
+Column extraction is memoized so that columns sharing a prefix do not
+re-traverse the document, and ``descendants``/``children`` steps answer from
+the per-tree :class:`~repro.hdt.tree.TagIndex`.
+
+The public entry points :func:`execute` / :func:`execute_nodes` are drop-in,
+semantics-preserving replacements for
+:func:`repro.dsl.semantics.run_program`; :func:`iter_execute_nodes` is the
+streaming variant.  ``benchmarks/bench_executor.py`` quantifies the speedup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..dsl.ast import CompareNodes, Not, Predicate, Program, True_
+from ..dsl.ast import (
+    Child,
+    CompareConst,
+    CompareNodes,
+    NodeExtractor,
+    NodeVar,
+    Not,
+    Parent,
+    Predicate,
+    Program,
+    True_,
+)
 from ..dsl.semantics import (
     DataTuple,
+    EvaluationError,
     NodeTuple,
     eval_column_on_tree,
-    eval_node_extractor,
     eval_predicate,
 )
 from ..hdt.node import Node
@@ -50,15 +82,58 @@ from .cnf import (
     to_cnf_clauses,
 )
 
+#: Projection kinds: how the consumer of the node tuples uses one column.
+IDENTITY = "identity"  # the node itself matters (surrogate keys, FK links)
+DATA = "data"  # only ``node.data`` is consumed
+IGNORED = "ignored"  # the column is never read
+
+_KINDS = (IDENTITY, DATA, IGNORED)
+
+
+@dataclass(frozen=True)
+class TupleProjection:
+    """What the consumer of an executed program reads from each tuple column.
+
+    ``kinds[i]`` is one of :data:`IDENTITY` (node identity is consumed —
+    e.g. surrogate-key generation hashes the node's uid), :data:`DATA` (only
+    the node's leaf data value is consumed) or :data:`IGNORED` (the column is
+    never read).  Two node tuples that agree on every consumed coordinate are
+    interchangeable for the consumer, which is what licenses the executor's
+    fused dedup.
+    """
+
+    kinds: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for kind in self.kinds:
+            if kind not in _KINDS:
+                raise ValueError(f"unknown projection kind {kind!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.kinds)
+
+    @staticmethod
+    def identity(arity: int) -> "TupleProjection":
+        """The projection that consumes every column by node identity."""
+        return TupleProjection((IDENTITY,) * arity)
+
 
 @dataclass
 class ExecutionPlan:
     """A compiled execution strategy for one program."""
 
     program: Program
+    projection: Optional[TupleProjection] = None
     pushdown: Dict[int, List[Clause]] = field(default_factory=dict)
     joins: List[CompareNodes] = field(default_factory=list)
     residual: List[Clause] = field(default_factory=list)
+    fusable: Set[int] = field(default_factory=set)
+    stats: Dict[str, int] = field(default_factory=dict)
+    """Counters from the most recent execution of this plan: join-step
+    classification (``value_join_clauses`` / ``node_join_clauses``), columns
+    actually fused (``fused_columns``), tuples enumerated through the pipeline
+    (``partial_tuples``) and final rows yielded (``rows_yielded``)."""
 
     def describe(self) -> str:
         """Human-readable plan summary (used in logs and the ablation report)."""
@@ -67,14 +142,51 @@ class ExecutionPlan:
             f"pushdown_clauses={sum(len(v) for v in self.pushdown.values())}",
             f"hash_joins={len(self.joins)}",
             f"residual_clauses={len(self.residual)}",
+            f"fusable_columns={sorted(self.fusable)}",
         ]
+        if self.stats:
+            parts.append(
+                "value_joins={0}, node_joins={1}, fused_columns={2}".format(
+                    self.stats.get("value_join_clauses", 0),
+                    self.stats.get("node_join_clauses", 0),
+                    self.stats.get("fused_columns", 0),
+                )
+            )
+            parts.append(
+                "partial_tuples={0}, rows={1}".format(
+                    self.stats.get("partial_tuples", 0),
+                    self.stats.get("rows_yielded", 0),
+                )
+            )
         return ", ".join(parts)
 
 
-def plan(program: Program) -> ExecutionPlan:
-    """Compile a program into an execution plan."""
+def _clause_columns(clause: Clause) -> Optional[Set[int]]:
+    """Columns referenced by a clause, or ``None`` when unknown (opaque)."""
+    columns: Set[int] = set()
+    for literal in clause:
+        target = literal.operand if isinstance(literal, Not) else literal
+        if isinstance(target, CompareConst):
+            columns.add(target.column)
+        elif isinstance(target, CompareNodes):
+            columns.add(target.left_column)
+            columns.add(target.right_column)
+        elif isinstance(target, True_):
+            continue
+        else:
+            return None
+    return columns
+
+
+def plan(program: Program, projection: Optional[TupleProjection] = None) -> ExecutionPlan:
+    """Compile a program into an execution plan.
+
+    ``projection`` (optional) describes what the consumer reads from each
+    tuple column and enables the fused-dedup optimization; omitting it (or
+    passing all-:data:`IDENTITY`) preserves the exact tuple-level semantics.
+    """
     clauses = to_cnf_clauses(program.predicate)
-    execution = ExecutionPlan(program=program)
+    execution = ExecutionPlan(program=program, projection=projection)
     for clause in clauses:
         if is_equijoin_clause(clause):
             execution.joins.append(clause[0])  # type: ignore[arg-type]
@@ -82,42 +194,262 @@ def plan(program: Program) -> ExecutionPlan:
             execution.pushdown.setdefault(clause_column(clause), []).append(clause)
         else:
             execution.residual.append(clause)
+
+    if projection is not None:
+        # A column is statically fusable when the consumer does not need the
+        # node's identity and no residual clause can inspect the node.  The
+        # remaining (join-order-dependent) condition — every join clause
+        # involving the column is applied at the column's own join step — is
+        # checked at execution time.
+        blocked: Set[int] = set()
+        for clause in execution.residual:
+            referenced = _clause_columns(clause)
+            if referenced is None:
+                blocked.update(range(program.arity))
+            else:
+                blocked.update(referenced)
+        execution.fusable = {
+            column
+            for column in range(min(program.arity, projection.arity))
+            if projection.kinds[column] != IDENTITY and column not in blocked
+        }
     return execution
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------------- #
 
 
 def execute(program: Program, tree: HDT) -> List[DataTuple]:
     """Run a program without materializing the full cross product."""
-    return [tuple(n.data for n in row) for row in execute_nodes(program, tree)]
+    return [tuple(n.data for n in row) for row in iter_execute_nodes(program, tree)]
 
 
 def execute_nodes(program: Program, tree: HDT) -> List[NodeTuple]:
     """Like :func:`execute` but return node tuples (used by the migration engine)."""
-    execution = plan(program)
-    cache: Dict = {}
-    arity = program.arity
+    return list(iter_execute_nodes(program, tree))
 
-    # ----------------------------------------------------------- column scan
-    columns: List[List[Node]] = []
-    for index, extractor in enumerate(program.table.columns):
-        nodes = eval_column_on_tree(extractor, tree, cache=cache)
-        for clause in execution.pushdown.get(index, []):
-            predicate = clauses_to_predicate([clause])
-            nodes = [
-                node
-                for node in nodes
-                if _eval_single_column(predicate, node, index, arity)
-            ]
-        columns.append(nodes)
 
-    # ------------------------------------------------------------ join order
-    # Start from the column with the fewest candidate nodes, then repeatedly
-    # add the column connected to the current set by a join clause (greedy
-    # left-deep join ordering); disconnected columns are added last via
-    # nested-loop extension.
-    remaining = set(range(arity))
+def iter_execute_nodes(
+    program: Program,
+    tree: HDT,
+    *,
+    projection: Optional[TupleProjection] = None,
+    execution: Optional[ExecutionPlan] = None,
+) -> Iterator[NodeTuple]:
+    """Stream a program's surviving node tuples without materializing them.
+
+    Tuples are yielded in exactly the order :func:`execute_nodes` would list
+    them.  With a ``projection``, hash-join groups whose members are
+    indistinguishable to the consumer are collapsed to representatives before
+    enumeration (see the module docstring); without one, the tuple stream is
+    the exact filtered cross product.  Pass a pre-compiled ``execution`` plan
+    to reuse planning work and to read back ``execution.stats`` afterwards.
+    """
+    if execution is None:
+        execution = plan(program, projection)
+    elif execution.program is not program:
+        raise ValueError("execution plan was compiled for a different program")
+    elif projection is not None and execution.projection != projection:
+        raise ValueError("projection conflicts with the pre-compiled execution plan")
+    return _iter_rows(execution, tree)
+
+
+# --------------------------------------------------------------------------- #
+# Execution internals
+# --------------------------------------------------------------------------- #
+
+
+def _eval_single_column(predicate: Predicate, node: Node, column: int, arity: int) -> bool:
+    """Evaluate a single-column clause by placing the node at its column slot."""
+    row = tuple(node for _ in range(arity))
+    # Every literal in the clause references `column` only, so filling the
+    # other slots with the same node is sound: they are never inspected.
+    return eval_predicate(predicate, row)
+
+
+def _compile_node_extractor(extractor: NodeExtractor):
+    """Compile a node extractor into a closure (the executor's hot path).
+
+    Equivalent to :func:`repro.dsl.semantics.eval_node_extractor` but without
+    the per-call isinstance dispatch: the AST walk happens once at plan time.
+    """
+    if isinstance(extractor, NodeVar):
+        return lambda node: node
+    if isinstance(extractor, Parent):
+        inner = _compile_node_extractor(extractor.source)
+
+        def _parent(node, _inner=inner):
+            target = _inner(node)
+            return None if target is None else target.parent
+
+        return _parent
+    if isinstance(extractor, Child):
+        inner = _compile_node_extractor(extractor.source)
+
+        def _child(node, _inner=inner, _tag=extractor.tag, _pos=extractor.pos):
+            target = _inner(node)
+            return None if target is None else target.child_with(_tag, _pos)
+
+        return _child
+    raise EvaluationError(f"unknown node extractor: {extractor!r}")
+
+
+def _key_for(extractor_fn, node: Node) -> Optional[Tuple]:
+    """Hash key of a node under one side of an equi-join clause.
+
+    Leaf targets key by their raw data value (value-equality joins); internal
+    targets key by node identity.  The key equivalence is *exactly* the
+    equivalence ``eval_predicate`` decides for an EQ clause:
+
+    * Python's ``==``/``hash`` across ``bool``/``int``/``float`` agree with
+      :func:`repro.dsl.semantics._values_equal` (``True == 1 == 1.0``,
+      exact ``int``/``float`` comparison, no string/number coercion);
+    * NaN — which EQ-compares false against everything, itself included —
+      maps to ``None`` (⊥) so it never enters an index;
+    * the ``"d"``/``"n"`` tags keep the two key spaces disjoint, so a leaf
+      never joins an internal node.
+
+    Because the match is exact, joined tuples need no re-check of their join
+    clauses.
+    """
+    target = extractor_fn(node)
+    if target is None:
+        return None
+    if not target.children:
+        data = target.data
+        if data != data:  # NaN
+            return None
+        return ("d", data)
+    return ("n", target.uid)
+
+
+def _signature(node: Node, kind: str):
+    """Equivalence key of a node under a projection kind (fused dedup)."""
+    if kind == IGNORED:
+        return ()
+    data = node.data
+    # The raw class distinguishes 1 / 1.0 / True so the representative's
+    # projected row is byte-identical to what full enumeration + downstream
+    # content dedup would have produced first.
+    return (data.__class__, data)
+
+
+def _dedupe_by_signature(nodes: Sequence[Node], kind: str) -> List[Node]:
+    """First occurrence per projection signature, preserving document order."""
+    seen: Set = set()
+    out: List[Node] = []
+    for node in nodes:
+        signature = _signature(node, kind)
+        if signature not in seen:
+            seen.add(signature)
+            out.append(node)
+    return out
+
+
+class _JoinStep:
+    """One join step: bind ``column`` given the already-bound assignment."""
+
+    __slots__ = ("index", "nodes", "_probes", "_single")
+
+    def __init__(
+        self,
+        column: int,
+        joins: List[CompareNodes],
+        nodes: Sequence[Node],
+        fused: bool,
+        kind: str,
+        stats: Dict[str, int],
+    ) -> None:
+        if not joins:
+            # Disconnected column: nested-loop extension over the column scan
+            # (deduped to representatives when fusable).
+            self.index = None
+            self.nodes = _dedupe_by_signature(nodes, kind) if fused else list(nodes)
+            self._probes = ()
+            self._single = True
+            return
+        # Compile, per clause, the key extractor for the new column's side
+        # and the (bound column, key extractor) probe for the partial side.
+        build_fns = []
+        probes = []
+        for join in joins:
+            # If the new column is the right operand of the clause, its key
+            # comes from the right extractor; otherwise from the left one.
+            if join.right_column == column:
+                build_fns.append(_compile_node_extractor(join.right_extractor))
+                probes.append((join.left_column, _compile_node_extractor(join.left_extractor)))
+            else:
+                build_fns.append(_compile_node_extractor(join.left_extractor))
+                probes.append((join.right_column, _compile_node_extractor(join.right_extractor)))
+        self._probes = tuple(probes)
+        self._single = len(joins) == 1
+
+        index: Dict[Tuple, List[Node]] = {}
+        key_spaces: List[Set[str]] = [set() for _ in joins]
+        for node in nodes:
+            if self._single:
+                key = _key_for(build_fns[0], node)
+                if key is None:
+                    continue
+                key_spaces[0].add(key[0])
+            else:
+                parts = []
+                for position, fn in enumerate(build_fns):
+                    part = _key_for(fn, node)
+                    if part is None:
+                        parts = None
+                        break
+                    key_spaces[position].add(part[0])
+                    parts.append(part)
+                if parts is None:
+                    continue
+                key = tuple(parts)
+            index.setdefault(key, []).append(node)
+        if fused:
+            # Collapse every hash group to its representatives *before* any
+            # partial tuple enumerates it — this is the fused dedup.
+            index = {key: _dedupe_by_signature(group, kind) for key, group in index.items()}
+        self.index = index
+        self.nodes = None
+        # Classify each clause of this step by the key space it joined on.
+        for spaces in key_spaces:
+            if "d" in spaces:
+                stats["value_join_clauses"] = stats.get("value_join_clauses", 0) + 1
+            if "n" in spaces:
+                stats["node_join_clauses"] = stats.get("node_join_clauses", 0) + 1
+
+    def candidates(self, assignment: List[Optional[Node]]) -> Sequence[Node]:
+        """Nodes that may extend the partial assignment at this column."""
+        if self.index is None:
+            return self.nodes
+        if self._single:
+            bound_column, fn = self._probes[0]
+            key = _key_for(fn, assignment[bound_column])
+            if key is None:
+                return ()
+            return self.index.get(key, ())
+        parts = []
+        for bound_column, fn in self._probes:
+            key = _key_for(fn, assignment[bound_column])
+            if key is None:
+                return ()
+            parts.append(key)
+        return self.index.get(tuple(parts), ())
+
+
+def _join_order(columns: List[List[Node]], joins: List[CompareNodes]) -> List[int]:
+    """Greedy left-deep join ordering.
+
+    Start from the column with the fewest candidate nodes, then repeatedly
+    add the column connected to the current set by a join clause;
+    disconnected columns are added last via nested-loop extension.
+    """
+    remaining = set(range(len(columns)))
     order: List[int] = []
     if remaining:
-        first = min(remaining, key=lambda i: len(columns[i]))
+        first = min(remaining, key=lambda i: (len(columns[i]), i))
         order.append(first)
         remaining.remove(first)
     while remaining:
@@ -127,17 +459,63 @@ def execute_nodes(program: Program, tree: HDT) -> List[NodeTuple]:
             if any(
                 (j.left_column in order and j.right_column == i)
                 or (j.right_column in order and j.left_column == i)
-                for j in execution.joins
+                for j in joins
             )
         ]
-        pool = connected or list(remaining)
-        nxt = min(pool, key=lambda i: len(columns[i]))
+        pool = connected or sorted(remaining)
+        nxt = min(pool, key=lambda i: (len(columns[i]), i))
         order.append(nxt)
         remaining.remove(nxt)
+    return order
 
-    # --------------------------------------------------------- join execution
-    partial: List[Dict[int, Node]] = [{order[0]: node} for node in columns[order[0]]]
+
+_DONE = object()
+
+
+def _iter_rows(execution: ExecutionPlan, tree: HDT) -> Iterator[NodeTuple]:
+    program = execution.program
+    arity = program.arity
+    stats = execution.stats
+    stats.clear()
+    if arity == 0:
+        return
+
+    projection = execution.projection
+    kinds = (
+        projection.kinds
+        if projection is not None
+        else TupleProjection.identity(arity).kinds
+    )
+
+    # ----------------------------------------------------------- column scan
+    cache: Dict = {}
+    columns: List[List[Node]] = []
+    for column_index, extractor in enumerate(program.table.columns):
+        nodes = eval_column_on_tree(extractor, tree, cache=cache)
+        for clause in execution.pushdown.get(column_index, []):
+            predicate = clauses_to_predicate([clause])
+            nodes = [
+                node
+                for node in nodes
+                if _eval_single_column(predicate, node, column_index, arity)
+            ]
+        columns.append(nodes)
+    stats["pushdown_clauses"] = sum(len(v) for v in execution.pushdown.values())
+
+    # ------------------------------------------------------------ join order
+    order = _join_order(columns, execution.joins)
+
+    # ------------------------------------------------------------ join steps
+    def joins_involving(column: int) -> List[CompareNodes]:
+        return [
+            j
+            for j in execution.joins
+            if j.left_column == column or j.right_column == column
+        ]
+
     bound: Set[int] = {order[0]}
+    steps: List[Optional[_JoinStep]] = [None]  # level 0 is the seed column
+    fused_columns = 0
     for column_index in order[1:]:
         joins_here = [
             j
@@ -145,115 +523,69 @@ def execute_nodes(program: Program, tree: HDT) -> List[NodeTuple]:
             if (j.left_column in bound and j.right_column == column_index)
             or (j.right_column in bound and j.left_column == column_index)
         ]
-        if joins_here:
-            partial = _hash_join(partial, columns[column_index], column_index, joins_here)
-        else:
-            partial = [
-                {**assignment, column_index: node}
-                for assignment in partial
-                for node in columns[column_index]
-            ]
+        # Fuse only when *every* clause that can see this column is applied
+        # right here; a clause deferred to a later step (or to the residual)
+        # could distinguish nodes the dedup would collapse.
+        fuse = (
+            column_index in execution.fusable
+            and len(joins_involving(column_index)) == len(joins_here)
+        )
+        if fuse:
+            fused_columns += 1
+        steps.append(
+            _JoinStep(
+                column_index,
+                joins_here,
+                columns[column_index],
+                fuse,
+                kinds[column_index] if column_index < len(kinds) else IDENTITY,
+                stats,
+            )
+        )
         bound.add(column_index)
 
-    # ------------------------------------------------------------- residual
+    seed_column = order[0]
+    seed_nodes = columns[seed_column]
+    if seed_column in execution.fusable and not joins_involving(seed_column):
+        seed_nodes = _dedupe_by_signature(seed_nodes, kinds[seed_column])
+        fused_columns += 1
+    stats["fused_columns"] = fused_columns
+
+    # --------------------------------------------------------- streamed walk
+    # Depth-first over the join steps: one partial assignment exists at a
+    # time, and complete tuples are yielded as they are found — the generator
+    # never holds an intermediate tuple list.
+    # Every join clause is applied at exactly one step (the step of its
+    # later-bound column), and the hash-key equivalence is exactly the EQ
+    # semantics of ``eval_predicate`` (see :func:`_key_for`), so joined
+    # tuples need no re-check — only residual clauses are evaluated here.
     residual_predicate = clauses_to_predicate(execution.residual)
-    # Join clauses that involve columns joined via other equalities may be
-    # subsumed; re-check every join clause on the final tuples to stay safe
-    # when a column participates in multiple joins.
-    results: List[NodeTuple] = []
-    for assignment in partial:
-        row = tuple(assignment[i] for i in range(arity))
-        if not isinstance(residual_predicate, True_) and not eval_predicate(
-            residual_predicate, row
-        ):
-            continue
-        if all(eval_predicate(j, row) for j in execution.joins):
-            results.append(row)
-    return results
+    check_residual = not isinstance(residual_predicate, True_)
+    levels = len(order)
+    partial_tuples = 0
+    rows_yielded = 0
 
-
-def _eval_single_column(predicate: Predicate, node: Node, column: int, arity: int) -> bool:
-    """Evaluate a single-column clause by placing the node at its column slot."""
-    row = tuple(node if i == column else node for i in range(arity))
-    # Every literal in the clause references `column` only, so filling the
-    # other slots with the same node is sound: they are never inspected.
-    return eval_predicate(predicate, row)
-
-
-def _join_key(
-    join: CompareNodes, node: Node, *, left_side: bool
-) -> Optional[Tuple]:
-    """Hash key of a node under one side of an equi-join clause.
-
-    Leaf targets hash by their data value; internal targets hash by node
-    identity (matching the node-equality semantics of Figure 7).
-    """
-    extractor = join.left_extractor if left_side else join.right_extractor
-    target = eval_node_extractor(extractor, node)
-    if target is None:
-        return None
-    if target.is_leaf():
-        return ("data", _canonical(target.data))
-    return ("node", target.uid)
-
-
-def _canonical(value):
-    if isinstance(value, bool):
-        return ("b", value)
-    if isinstance(value, (int, float)):
-        return ("n", float(value))
-    return ("s", value)
-
-
-def _hash_join(
-    partial: List[Dict[int, Node]],
-    new_nodes: Sequence[Node],
-    new_column: int,
-    joins: Sequence[CompareNodes],
-) -> List[Dict[int, Node]]:
-    """Join partial assignments with a new column on the given equality clauses."""
-    # Build the hash index over the new column using the composite key of all
-    # applicable join clauses.
-    def new_node_key(node: Node) -> Optional[Tuple]:
-        parts = []
-        for join in joins:
-            # If the new column is the right operand of the clause, its key
-            # comes from the right extractor; otherwise from the left one.
-            on_right = join.right_column == new_column
-            key = _join_key(join, node, left_side=not on_right)
-            if key is None:
-                return None
-            parts.append(key)
-        return tuple(parts)
-
-    index: Dict[Tuple, List[Node]] = {}
-    for node in new_nodes:
-        key = new_node_key(node)
-        if key is None:
-            continue
-        index.setdefault(key, []).append(node)
-
-    def partial_key(assignment: Dict[int, Node]) -> Optional[Tuple]:
-        parts = []
-        for join in joins:
-            if join.right_column == new_column:
-                bound_node = assignment[join.left_column]
-                key = _join_key(join, bound_node, left_side=True)
-            else:
-                bound_node = assignment[join.right_column]
-                key = _join_key(join, bound_node, left_side=False)
-            if key is None:
-                return None
-            parts.append(key)
-        return tuple(parts)
-
-    joined: List[Dict[int, Node]] = []
-    for assignment in partial:
-        key = partial_key(assignment)
-        if key is None:
-            continue
-        for node in index.get(key, []):
-            extended = dict(assignment)
-            extended[new_column] = node
-            joined.append(extended)
-    return joined
+    assignment: List[Optional[Node]] = [None] * arity
+    stack: List[Iterator[Node]] = [iter(seed_nodes)]
+    try:
+        while stack:
+            level = len(stack) - 1
+            node = next(stack[level], _DONE)
+            if node is _DONE:
+                stack.pop()
+                continue
+            assignment[order[level]] = node
+            partial_tuples += 1
+            if level + 1 < levels:
+                candidates = steps[level + 1].candidates(assignment)
+                if candidates:
+                    stack.append(iter(candidates))
+                continue
+            row = tuple(assignment)  # type: ignore[arg-type]
+            if check_residual and not eval_predicate(residual_predicate, row):
+                continue
+            rows_yielded += 1
+            yield row
+    finally:
+        stats["partial_tuples"] = partial_tuples
+        stats["rows_yielded"] = rows_yielded

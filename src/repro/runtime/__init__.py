@@ -25,6 +25,7 @@ from .executor import (
     canonical_database_rows,
     canonical_table_rows,
     execute_plan,
+    stream_table_rows,
 )
 from .plan import MigrationPlan, TablePlan
 from .plan_cache import PlanCache, spec_fingerprint
@@ -51,6 +52,7 @@ __all__ = [
     "canonical_database_rows",
     "canonical_table_rows",
     "execute_plan",
+    "stream_table_rows",
     "MigrationPlan",
     "TablePlan",
     "PlanCache",

@@ -20,15 +20,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..hdt.node import Scalar
 from ..hdt.tree import HDT
-from ..migration.engine import TableRowBatch, generate_table_rows
-from ..optimizer.optimize import execute_nodes
+from ..migration.engine import (
+    TableRowBatch,
+    consumed_projection,
+    iter_generate_table_rows,
+)
+from ..optimizer.optimize import ExecutionPlan, iter_execute_nodes
+from ..optimizer.optimize import plan as compile_program
 from ..relational.database import Database
 from ..relational.schema import DatabaseSchema, TableSchema
-from .plan import MigrationPlan
+from .plan import MigrationPlan, TablePlan
 
 Row = Tuple[Scalar, ...]
 
@@ -100,36 +105,64 @@ class ChunkMerger:
         self._state = {t.name: _TableMergeState() for t in schema.tables}
 
     def merge(self, batch: TableRowBatch) -> List[Row]:
-        """Rows of this batch that should actually be inserted."""
-        table = self._tables[batch.table]
+        """Rows of this batch that should actually be inserted.
+
+        Materialized wrapper around :meth:`iter_merge` +
+        :meth:`absorb_aliases` (used by the multiprocessing fan-out, which
+        ships whole batches between processes).
+        """
+        out = list(self.iter_merge(batch.table, batch.rows))
+        self.absorb_aliases(batch.table, batch.key_aliases)
+        return out
+
+    def iter_merge(self, table_name: str, rows: Iterable[Row]) -> Iterator[Row]:
+        """Stream-filter rows to the ones that should actually be inserted.
+
+        Accepts any row iterable — in particular the lazy stream of
+        :func:`~repro.migration.engine.iter_generate_table_rows` — so the
+        whole per-table pipeline runs in fixed memory.  For surrogate-key
+        tables, call :meth:`absorb_aliases` with the generator's collected
+        ``key_aliases`` *after* the stream is exhausted (and before the next
+        table is merged, so later foreign-key references resolve).
+        """
+        table = self._tables[table_name]
         if table.natural_keys:
-            return self._merge_natural(table, batch)
-        return self._merge_surrogate(table, batch)
+            return self._iter_merge_natural(table, rows)
+        return self._iter_merge_surrogate(table, rows)
+
+    def absorb_aliases(self, table_name: str, key_aliases: Dict[str, str]) -> None:
+        """Record the surrogate keys a row generator dropped within its batch.
+
+        Keys dropped *within* the batch alias to a kept key of the same
+        batch, which may itself have been aliased to an earlier batch's key
+        during :meth:`iter_merge` — compose the two mappings.
+        """
+        state = self._state[table_name]
+        for dropped, kept in key_aliases.items():
+            state.aliases[dropped] = state.aliases.get(kept, kept)
 
     def key_aliases(self, table: str) -> Dict[str, str]:
         """Surrogate keys dropped so far, mapped to the keys that replaced them."""
         return self._state[table].aliases
 
     # ------------------------------------------------------------- internals
-    def _merge_natural(self, table: TableSchema, batch: TableRowBatch) -> List[Row]:
+    def _iter_merge_natural(self, table: TableSchema, rows: Iterable[Row]) -> Iterator[Row]:
         state = self._state[table.name]
-        out: List[Row] = []
         if table.primary_key is not None:
             pk_index = table.column_names.index(table.primary_key)
-            for row in batch.rows:
+            for row in rows:
                 if row[pk_index] in state.seen_keys:
                     continue
                 state.seen_keys.add(row[pk_index])
-                out.append(row)
-            return out
-        for row in batch.rows:
+                yield row
+            return
+        for row in rows:
             if row in state.seen_rows:
                 continue
             state.seen_rows.add(row)
-            out.append(row)
-        return out
+            yield row
 
-    def _merge_surrogate(self, table: TableSchema, batch: TableRowBatch) -> List[Row]:
+    def _iter_merge_surrogate(self, table: TableSchema, rows: Iterable[Row]) -> Iterator[Row]:
         state = self._state[table.name]
         names = table.column_names
         pk_index = names.index(table.primary_key) if table.primary_key is not None else None
@@ -138,8 +171,7 @@ class ChunkMerger:
             for fk in table.foreign_keys
             if not self._tables[fk.target_table].natural_keys
         ]
-        out: List[Row] = []
-        for row in batch.rows:
+        for row in rows:
             values = list(row)
             for fk_index, target in fk_targets:
                 value = values[fk_index]
@@ -153,13 +185,7 @@ class ChunkMerger:
                     state.aliases[pk] = known
                 continue
             state.content_to_pk[content] = pk
-            out.append(tuple(values))
-        # Keys the generator dropped *within* the batch alias to a kept key of
-        # the same batch, which may itself have been aliased to an earlier
-        # batch's key just above — compose the two mappings.
-        for dropped, kept in batch.key_aliases.items():
-            state.aliases[dropped] = state.aliases.get(kept, kept)
-        return out
+            yield tuple(values)
 
 
 @dataclass
@@ -176,12 +202,68 @@ class ExecutionReport:
         return sum(self.per_table_rows.values())
 
 
+def compile_plan_executions(plan: MigrationPlan) -> Dict[str, ExecutionPlan]:
+    """Compile every table's program once (CNF, pushdown/join split, fusable
+    analysis under the table's consumed projection).
+
+    The compiled :class:`ExecutionPlan` is reusable across documents and
+    chunks — the streaming path compiles per plan, not per chunk.
+    """
+    executions: Dict[str, ExecutionPlan] = {}
+    for table_schema in plan.schema.tables:
+        table_plan = plan.table_plan(table_schema.name)
+        projection = consumed_projection(
+            table_schema, table_plan.data_columns, table_plan.program.arity
+        )
+        executions[table_schema.name] = compile_program(table_plan.program, projection)
+    return executions
+
+
+def stream_table_rows(
+    table_schema: TableSchema,
+    table_plan: TablePlan,
+    tree: HDT,
+    merger: ChunkMerger,
+    key_aliases: Dict[str, str],
+    execution: Optional[ExecutionPlan] = None,
+) -> Iterator[Row]:
+    """The fully-fused per-table pipeline, as one lazy row stream.
+
+    ``iter_execute_nodes`` (projection-aware hash joins, fused dedup) →
+    ``iter_generate_table_rows`` (key generation + content dedup, recording
+    dropped-key aliases into ``key_aliases``) → ``ChunkMerger.iter_merge``
+    (cross-batch dedup and foreign-key rewriting).  Nothing is materialized;
+    the caller must exhaust the stream and then pass ``key_aliases`` to
+    :meth:`ChunkMerger.absorb_aliases`.  Pass a pre-compiled ``execution``
+    (see :func:`compile_plan_executions`) to skip per-call planning.
+    """
+    if execution is None:
+        projection = consumed_projection(
+            table_schema, table_plan.data_columns, table_plan.program.arity
+        )
+        execution = compile_program(table_plan.program, projection)
+    node_rows = iter_execute_nodes(table_plan.program, tree, execution=execution)
+    rows = iter_generate_table_rows(
+        table_schema,
+        table_plan.data_columns,
+        table_plan.foreign_key_rules,
+        node_rows,
+        key_aliases=key_aliases,
+    )
+    return merger.iter_merge(table_schema.name, rows)
+
+
 def execute_plan(
     plan: MigrationPlan,
     dataset: HDT,
     backend: Optional[ExecutionBackend] = None,
 ) -> ExecutionReport:
     """Execute a plan on a fully-materialized document.
+
+    Every table runs as a generator pipeline: node tuples stream out of the
+    fused executor, through key generation and merging, straight into the
+    backend — peak memory is the column scans plus hash indexes (linear in
+    the document), never an intermediate tuple list.
 
     Returns an :class:`ExecutionReport`; the populated storage is reachable
     through ``report.backend`` (e.g. ``report.backend.database`` for the
@@ -191,16 +273,23 @@ def execute_plan(
     start = time.perf_counter()
     backend.begin(plan.schema)
     merger = ChunkMerger(plan.schema)
+    executions = compile_plan_executions(plan)
     report = ExecutionReport(backend=backend)
     for table_schema in plan.execution_order():
         table_plan = plan.table_plan(table_schema.name)
-        node_rows = execute_nodes(table_plan.program, dataset)
-        batch = generate_table_rows(
-            table_schema, table_plan.data_columns, table_plan.foreign_key_rules, node_rows
+        key_aliases: Dict[str, str] = {}
+        rows = stream_table_rows(
+            table_schema,
+            table_plan,
+            dataset,
+            merger,
+            key_aliases,
+            execution=executions[table_schema.name],
         )
         report.per_table_rows[table_schema.name] = backend.insert_rows(
-            table_schema.name, merger.merge(batch)
+            table_schema.name, rows
         )
+        merger.absorb_aliases(table_schema.name, key_aliases)
     backend.finalize()
     report.execution_time = time.perf_counter() - start
     return report

@@ -58,13 +58,15 @@ from ..hdt.tree import HDT
 from ..hdt.xml_plugin import _coerce as coerce_xml_scalar
 from ..hdt.xml_plugin import element_to_node
 from ..migration.engine import TableRowBatch, generate_table_rows
-from ..optimizer.optimize import execute_nodes
+from ..optimizer.optimize import ExecutionPlan, iter_execute_nodes
 from .executor import (
     ChunkMerger,
     ExecutionBackend,
     ExecutionReport,
     MemoryBackend,
     Row,
+    compile_plan_executions,
+    stream_table_rows,
 )
 from .plan import MigrationPlan
 
@@ -257,12 +259,28 @@ def _iter_json_records(value: Any) -> Iterator[Tuple[str, int, Any]]:
 # --------------------------------------------------------------------------- #
 
 
-def execute_plan_on_chunk(plan: MigrationPlan, tree: HDT) -> Dict[str, TableRowBatch]:
-    """Run every table's program on one chunk (no cross-chunk state)."""
+def execute_plan_on_chunk(
+    plan: MigrationPlan,
+    tree: HDT,
+    executions: Optional[Dict[str, ExecutionPlan]] = None,
+) -> Dict[str, TableRowBatch]:
+    """Run every table's program on one chunk (no cross-chunk state).
+
+    Uses the fused, projection-aware executor but materializes the per-chunk
+    batches (bounded by the chunk size) — this is the unit the
+    multiprocessing fan-out pickles back to the parent; the serial path
+    streams instead (see :func:`stream_execute`).  Pass pre-compiled
+    ``executions`` (:func:`~repro.runtime.executor.compile_plan_executions`)
+    when running many chunks, so programs are planned once, not per chunk.
+    """
+    if executions is None:
+        executions = compile_plan_executions(plan)
     batches: Dict[str, TableRowBatch] = {}
     for table_schema in plan.execution_order():
         table_plan = plan.table_plan(table_schema.name)
-        node_rows = execute_nodes(table_plan.program, tree)
+        node_rows = iter_execute_nodes(
+            table_plan.program, tree, execution=executions[table_schema.name]
+        )
         batches[table_schema.name] = generate_table_rows(
             table_schema, table_plan.data_columns, table_plan.foreign_key_rules, node_rows
         )
@@ -270,18 +288,21 @@ def execute_plan_on_chunk(plan: MigrationPlan, tree: HDT) -> Dict[str, TableRowB
 
 
 # The plan is invariant across chunks; ship it to each worker once via the
-# pool initializer instead of re-pickling it into every task.
+# pool initializer (instead of re-pickling it into every task) and compile
+# its programs once per worker.
 _WORKER_PLAN: Optional[MigrationPlan] = None
+_WORKER_EXECUTIONS: Optional[Dict[str, ExecutionPlan]] = None
 
 
 def _init_worker(plan: MigrationPlan) -> None:
-    global _WORKER_PLAN
+    global _WORKER_PLAN, _WORKER_EXECUTIONS
     _WORKER_PLAN = plan
+    _WORKER_EXECUTIONS = compile_plan_executions(plan)
 
 
 def _execute_chunk_task(tree: HDT) -> Dict[str, TableRowBatch]:
     assert _WORKER_PLAN is not None, "worker pool was not initialized with a plan"
-    return execute_plan_on_chunk(_WORKER_PLAN, tree)
+    return execute_plan_on_chunk(_WORKER_PLAN, tree, _WORKER_EXECUTIONS)
 
 
 def stream_execute(
@@ -314,15 +335,38 @@ def stream_execute(
                 )
         report.chunks += 1
 
+    def _consume_streamed(tree: HDT) -> None:
+        # Serial path: the per-table pipeline is one generator chain from
+        # tuple enumeration to backend insert; even within a chunk no row
+        # list is materialized.
+        for table_schema in order:
+            table_plan = plan.table_plan(table_schema.name)
+            key_aliases: Dict[str, str] = {}
+            rows = stream_table_rows(
+                table_schema,
+                table_plan,
+                tree,
+                merger,
+                key_aliases,
+                execution=executions[table_schema.name],
+            )
+            report.per_table_rows[table_schema.name] += backend.insert_rows(
+                table_schema.name, rows
+            )
+            merger.absorb_aliases(table_schema.name, key_aliases)
+        report.chunks += 1
+
     if workers and workers > 1:
+        # Workers compile their own executions in _init_worker.
         with multiprocessing.Pool(
             processes=workers, initializer=_init_worker, initargs=(plan,)
         ) as pool:
             for batches in pool.imap(_execute_chunk_task, (chunk.tree for chunk in chunks)):
                 _consume(batches)
     else:
+        executions = compile_plan_executions(plan)  # once per plan, not per chunk
         for chunk in chunks:
-            _consume(execute_plan_on_chunk(plan, chunk.tree))
+            _consume_streamed(chunk.tree)
 
     backend.finalize()
     report.execution_time = time.perf_counter() - start

@@ -4,11 +4,15 @@ import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
 from repro.dsl import (
+    And,
     Children,
+    CompareConst,
     CompareNodes,
     Descendants,
     NodeVar,
+    Not,
     Op,
+    Or,
     Parent,
     PChildren,
     Program,
@@ -18,8 +22,16 @@ from repro.dsl import (
     run_program,
 )
 from repro.hdt import build_tree, hdt_to_json, json_to_hdt
-from repro.optimizer import execute, to_cnf_clauses, clauses_to_predicate
-from repro.dsl.semantics import eval_predicate, eval_table
+from repro.optimizer import (
+    TupleProjection,
+    execute,
+    execute_nodes,
+    iter_execute_nodes,
+    to_cnf_clauses,
+    clauses_to_predicate,
+)
+from repro.optimizer.optimize import DATA
+from repro.dsl.semantics import eval_column_on_tree, eval_predicate, eval_table, run_program_nodes
 from repro.synthesis.qm import evaluate_dnf, minimize, minterm_to_bits
 from repro.synthesis.set_cover import branch_and_bound_cover, greedy_cover, ilp_cover
 
@@ -169,6 +181,149 @@ def test_cnf_conversion_preserves_semantics(tree, extractor, ne1, ne2):
     table = TableExtractor((extractor, extractor))
     for row in eval_table(table, tree)[:20]:
         assert eval_predicate(predicate, row) == eval_predicate(rebuilt, row)
+
+
+# --------------------------------------------------------------------------- #
+# Naive / planned / streamed executor equivalence (PR-2 acceptance: ≥200
+# random program/tree pairs across the three properties below)
+# --------------------------------------------------------------------------- #
+
+#: Small value domains force value collisions, so random programs exercise
+#: value-equality hash joins (including bool/number cross-type equality).
+join_scalars = st.one_of(
+    st.integers(min_value=-2, max_value=3),
+    st.sampled_from(["a", "b", "c"]),
+    st.booleans(),
+    st.sampled_from([1.0, 2.0]),
+)
+
+comparison_ops = st.sampled_from([Op.EQ, Op.EQ, Op.EQ, Op.NE, Op.LT, Op.GE])
+
+
+@st.composite
+def join_trees(draw):
+    """Documents with heavily repeated leaf values (join-friendly)."""
+    doc = {
+        "item": [
+            {
+                "k": draw(join_scalars),
+                "v": draw(join_scalars),
+                "sub": [{"x": draw(join_scalars)} for _ in range(draw(st.integers(0, 2)))],
+            }
+            for _ in range(draw(st.integers(1, 4)))
+        ]
+    }
+    return build_tree(doc, tag="root")
+
+
+@st.composite
+def random_predicates(draw, arity):
+    """Random filter predicates: node/const comparisons under ∧ ∨ ¬."""
+
+    def draw_atom():
+        if draw(st.booleans()):
+            return CompareNodes(
+                draw(node_extractors()),
+                draw(st.integers(0, arity - 1)),
+                draw(comparison_ops),
+                draw(node_extractors()),
+                draw(st.integers(0, arity - 1)),
+            )
+        return CompareConst(
+            draw(node_extractors()),
+            draw(st.integers(0, arity - 1)),
+            draw(comparison_ops),
+            draw(join_scalars),
+        )
+
+    predicate = draw_atom()
+    for _ in range(draw(st.integers(0, 2))):
+        shape = draw(st.sampled_from(["and", "or", "not"]))
+        if shape == "and":
+            predicate = And(predicate, draw_atom())
+        elif shape == "or":
+            predicate = Or(predicate, draw_atom())
+        else:
+            predicate = Not(predicate)
+    return predicate
+
+
+@st.composite
+def random_programs(draw, max_arity=3):
+    arity = draw(st.integers(1, max_arity))
+    columns = tuple(draw(column_extractors()) for _ in range(arity))
+    return Program(TableExtractor(columns), draw(random_predicates(arity)))
+
+
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(join_trees(), st.data())
+def test_naive_planned_streamed_executors_agree(tree, data):
+    """run_program (formal semantics) == execute (planned) == iter (streamed).
+
+    The planner's greedy join ordering may enumerate rows in a different
+    order than the naive cross product (it seeds the walk on the smallest
+    column), so agreement with the formal semantics is as a multiset; the
+    planned and streamed paths must agree exactly, order included.
+    """
+    program = data.draw(random_programs())
+    naive = run_program(program, tree)
+    planned = execute(program, tree)
+    streamed = [tuple(n.data for n in row) for row in iter_execute_nodes(program, tree)]
+    assert sorted(map(repr, planned)) == sorted(map(repr, naive))
+    assert streamed == planned
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(join_trees(), st.data())
+def test_streamed_node_tuples_match_formal_semantics(tree, data):
+    """Tuple-level (not just data-level) agreement with Figure 7."""
+    program = data.draw(random_programs())
+
+    def key(rows):
+        return sorted(tuple(node.uid for node in row) for row in rows)
+
+    naive_nodes = run_program_nodes(program, tree)
+    streamed_nodes = list(iter_execute_nodes(program, tree))
+    assert key(streamed_nodes) == key(naive_nodes)
+    assert execute_nodes(program, tree) == streamed_nodes
+
+
+def _first_occurrence_contents(node_rows):
+    seen, out = set(), []
+    for row in node_rows:
+        content = tuple(node.data for node in row)
+        if content not in seen:
+            seen.add(content)
+            out.append(content)
+    return out
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(join_trees(), st.data())
+def test_fused_projection_preserves_content_rows(tree, data):
+    """With an all-DATA projection the executor may collapse join groups, but
+    the deduplicated content rows (what a natural-key table stores) must be
+    identical — values and first-occurrence order — to full enumeration
+    through the same planned pipeline, and the same multiset as the formal
+    semantics."""
+    program = data.draw(random_programs())
+    projection = TupleProjection(tuple(DATA for _ in range(program.arity)))
+    fused = _first_occurrence_contents(
+        iter_execute_nodes(program, tree, projection=projection)
+    )
+    unfused = _first_occurrence_contents(iter_execute_nodes(program, tree))
+    assert fused == unfused
+    naive = _first_occurrence_contents(run_program_nodes(program, tree))
+    assert sorted(map(repr, fused)) == sorted(map(repr, naive))
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_trees(), column_extractors())
+def test_tag_index_eval_column_parity(tree, extractor):
+    """The TagIndex-backed column scan equals the plain traversal."""
+    assert eval_column_on_tree(extractor, tree) == eval_column_on_tree(
+        extractor, tree, use_index=False
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -238,14 +238,17 @@ def test_sqlite_file_backend_is_self_contained(tmp_path, library_plan):
 def test_streaming_matches_whole_tree_row_for_row_at_50k(dblp_bundle, dblp_plan):
     """Acceptance: ≥50k records, bounded chunks, row-for-row whole-tree parity.
 
-    The full DBLP plan's author link tables join on position *values* (3
-    distinct values), which makes their node-tuple output quadratic in the
-    record count — infeasible at 50k records in *any* execution mode, so the
-    test restricts the plan to the linear tables.  Chunk boundedness is
-    asserted on every chunk the stream produces.
+    Runs the *full* 9-table DBLP plan, author link tables included.  Those
+    tables join on position *values* (3 distinct values), which used to make
+    their node-tuple output quadratic in the record count — infeasible at 50k
+    records, forcing earlier revisions to ``restrict()`` the plan to its
+    linear tables.  The fused-dedup executor collapses value-join groups to
+    per-value representatives, so the whole plan now runs in linear time and
+    the escape hatch is gone.  Chunk boundedness is asserted on every chunk
+    the stream produces.
     """
     chunk_size = 2000
-    plan = dblp_plan.restrict(["journal", "article", "www", "www_editor"])
+    plan = dblp_plan
     scale = 10000  # 2s articles + 2s inproceedings + s/2 phd + s/2 www = 5s records
     document = dblp_bundle.generate(scale)
     assert len(document.root.children) >= 50000
@@ -306,7 +309,7 @@ def test_streaming_json_file_matches_whole_tree(tmp_path, dblp_bundle, dblp_plan
 
 
 def test_streaming_multiprocessing_fanout_matches_serial(dblp_bundle, dblp_plan):
-    plan = dblp_plan.restrict(["journal", "article", "www", "www_editor"])
+    plan = dblp_plan  # full plan, link tables included
     document = dblp_bundle.generate(60)
     serial = stream_execute(plan, iter_tree_chunks(document, 25))
     parallel = stream_execute(plan, iter_tree_chunks(document, 25), workers=2)
