@@ -1,0 +1,158 @@
+"""Benchmark E2: the bitset-vectorized synthesis engine — cross-PR perf record.
+
+Learns the complete multi-table plans for the DBLP (9 tables), Mondial and
+Yelp evaluation schemas twice — once with the seed learner (eager per-example
+DFAs, tuple-by-tuple predicate evaluation, list-based solvers) and once with
+the vectorized engine (lazy product DFA over the shared tree automaton,
+predicate bitmatrices, bitmask ILP/QM) — verifies the learned programs are
+**byte-identical** (same pretty-printed DSL, same θ-cost) on every table, and
+writes a machine-readable record to ``BENCH_PR3.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_synthesis.py           # full record
+    PYTHONPATH=src python benchmarks/bench_synthesis.py --smoke   # CI guard
+
+``--smoke`` skips the slow seed-learner runs: it learns the multi-table DBLP
+and Yelp plans with the vectorized engine, checks end-to-end synthesis
+against a fixed wall-clock budget, and cross-checks DBLP byte-identity
+against the seed learner (the one seed run cheap enough for CI).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import dblp, mondial, yelp  # noqa: E402
+from repro.dsl.cost import program_cost  # noqa: E402
+from repro.dsl.pretty import pretty_program  # noqa: E402
+from repro.migration.engine import MigrationEngine  # noqa: E402
+from repro.synthesis.config import SynthesisConfig  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+
+DATASETS = {"DBLP": dblp, "Mondial": mondial, "Yelp": yelp}
+
+SMOKE_LIMIT_SECONDS = 20.0
+SMOKE_DATASETS = ("DBLP", "Yelp")
+MIN_REQUIRED_SPEEDUP = 3.0
+
+
+def _learn(module, config, jobs=1):
+    spec = module.dataset().migration_spec()
+    start = time.perf_counter()
+    programs, per_table = MigrationEngine(config, jobs=jobs).learn(spec)
+    return programs, per_table, time.perf_counter() - start
+
+
+def _identical(seed_programs, fast_programs):
+    mismatches = []
+    for name in seed_programs:
+        seed_program = seed_programs[name].program
+        fast_program = fast_programs[name].program
+        if pretty_program(seed_program) != pretty_program(fast_program):
+            mismatches.append(f"{name}: program text differs")
+        elif program_cost(seed_program) != program_cost(fast_program):
+            mismatches.append(f"{name}: θ-cost differs")
+    return mismatches
+
+
+def _bench_dataset(name, module):
+    config = SynthesisConfig.for_migration()
+    print(f"{name}:")
+    fast_programs, fast_per_table, fast_seconds = _learn(module, config)
+    print(f"  vectorized  {fast_seconds:>7.2f}s  ({len(fast_programs)} tables)")
+    seed_programs, _, seed_seconds = _learn(module, config.seed_variant())
+    print(f"  seed        {seed_seconds:>7.2f}s")
+    mismatches = _identical(seed_programs, fast_programs)
+    if mismatches:
+        raise SystemExit(f"byte-identity FAILED for {name}: {mismatches}")
+    speedup = seed_seconds / max(fast_seconds, 1e-9)
+    print(f"  speedup     {speedup:>7.2f}x  byte-identical: yes")
+    return {
+        "tables": len(fast_programs),
+        "seed_seconds": round(seed_seconds, 3),
+        "vectorized_seconds": round(fast_seconds, 3),
+        "speedup": round(speedup, 2),
+        "byte_identical": True,
+        "per_table_vectorized_seconds": {
+            table: round(seconds, 4) for table, seconds in fast_per_table.items()
+        },
+    }
+
+
+def _smoke():
+    budget_ok = True
+    for name in SMOKE_DATASETS:
+        _, _, seconds = _learn(DATASETS[name], SynthesisConfig.for_migration())
+        print(f"  {name}: vectorized multi-table synthesis in {seconds:.2f}s")
+        if seconds >= SMOKE_LIMIT_SECONDS:
+            print(
+                f"SMOKE FAIL: {name} synthesis took {seconds:.1f}s "
+                f"(budget {SMOKE_LIMIT_SECONDS:.0f}s)"
+            )
+            budget_ok = False
+    config = SynthesisConfig.for_migration()
+    fast_programs, _, _ = _learn(dblp, config)
+    seed_programs, _, _ = _learn(dblp, config.seed_variant())
+    mismatches = _identical(seed_programs, fast_programs)
+    if mismatches:
+        print(f"SMOKE FAIL: DBLP byte-identity: {mismatches}")
+        return 1
+    print("  DBLP byte-identity vs seed learner: ok")
+    if not budget_ok:
+        return 1
+    print(f"smoke ok: all within {SMOKE_LIMIT_SECONDS:.0f}s, programs identical")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI guard: vectorized synthesis under {SMOKE_LIMIT_SECONDS:.0f}s, "
+        "DBLP programs byte-identical to the seed learner",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _smoke()
+
+    payload = {
+        "benchmark": "synthesis",
+        "pr": 3,
+        "engines": {
+            "seed": "eager DFA intersection + per-tuple predicate evaluation "
+            "(SynthesisConfig(vectorized=False))",
+            "vectorized": "lazy product DFA + predicate bitmatrices + bitmask "
+            "ILP/QM + shared caches (default)",
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": {},
+    }
+    for name, module in DATASETS.items():
+        payload["results"][name] = _bench_dataset(name, module)
+
+    dblp_speedup = payload["results"]["DBLP"]["speedup"]
+    payload["dblp_speedup"] = dblp_speedup
+    with open(RECORD_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {RECORD_PATH} (DBLP end-to-end synthesis speedup: {dblp_speedup}x)")
+    if dblp_speedup < MIN_REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: DBLP speedup {dblp_speedup}x below the required "
+            f"{MIN_REQUIRED_SPEEDUP}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,15 @@
 """Deterministic finite automata used by the column-extractor learner."""
 
-from .dfa import DFA, intersect_all
+from .dfa import (
+    DFA,
+    LazyComponent,
+    enumerate_product_words,
+    intersect_all,
+)
 
-__all__ = ["DFA", "intersect_all"]
+__all__ = [
+    "DFA",
+    "LazyComponent",
+    "enumerate_product_words",
+    "intersect_all",
+]

@@ -64,6 +64,18 @@ class TagIndex:
         """Does this index know the node (i.e. was it in the indexed tree)?"""
         return node.uid in self._entry
 
+    def tags(self) -> List[str]:
+        """All distinct tags of the indexed tree, in first-seen document order.
+
+        The index walk is a pre-order traversal, so insertion order of the
+        per-tag buckets matches :meth:`HDT.tags`.
+        """
+        return list(self._by_tag)
+
+    def positions_for_tag(self, tag: str) -> List[int]:
+        """Distinct positions used by nodes with the given tag, sorted."""
+        return sorted({n.pos for n in self._by_tag.get(tag, ())})
+
     def nodes_with_tag(self, tag: str) -> List[Node]:
         """All nodes with the tag, in document order (may include the root)."""
         return self._by_tag.get(tag, [])
@@ -142,22 +154,25 @@ class HDT:
         return _height(self.root)
 
     def tags(self) -> List[str]:
-        """All distinct tags appearing in the tree, in first-seen order."""
-        seen: Set[str] = set()
-        out: List[str] = []
-        for node in self.nodes():
-            if node.tag not in seen:
-                seen.add(node.tag)
-                out.append(node.tag)
-        return out
+        """All distinct tags appearing in the tree, in first-seen order.
+
+        Answered from the cached :class:`TagIndex`, so repeated calls (the
+        synthesizer instantiates the operator alphabet once per example and
+        per column) cost one dictionary-keys copy instead of a tree scan.
+        """
+        return self.tag_index().tags()
 
     def positions(self) -> List[int]:
         """All distinct positions appearing in the tree, sorted."""
         return sorted({node.pos for node in self.nodes()})
 
     def positions_for_tag(self, tag: str) -> List[int]:
-        """Distinct positions used by nodes with the given tag, sorted."""
-        return sorted({n.pos for n in self.nodes() if n.tag == tag})
+        """Distinct positions used by nodes with the given tag, sorted.
+
+        Served from the cached :class:`TagIndex` (one bucket scan) rather than
+        a full-tree traversal per call.
+        """
+        return self.tag_index().positions_for_tag(tag)
 
     def constants(self) -> List[Scalar]:
         """All distinct data values stored at leaves, in first-seen order.
@@ -191,6 +206,20 @@ class HDT:
 
     def invalidate_indexes(self) -> None:
         """Drop cached indexes after mutating the tree in place."""
+        self._uid_index = None
+        self._tag_index = None
+
+    # ---------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Pickle only the tree itself; lazy indexes are rebuilt on demand.
+
+        Keeps the payload shipped to :class:`~concurrent.futures.ProcessPoolExecutor`
+        workers (parallel per-table synthesis) small.
+        """
+        return {"root": self.root}
+
+    def __setstate__(self, state) -> None:
+        self.root = state["root"]
         self._uid_index = None
         self._tag_index = None
 

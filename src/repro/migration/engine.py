@@ -50,6 +50,10 @@ class MigrationError(Exception):
     """Raised when a table's program or key rules cannot be learned."""
 
 
+#: Zero-duration placeholder for per-table timing when synthesis ran inline.
+_NO_RESULT = SynthesisResult(program=None, success=False, synthesis_time=0.0)
+
+
 @dataclass
 class TableRowBatch:
     """Rows produced for one table from one document (or document chunk).
@@ -252,6 +256,64 @@ class MigrationResult:
         return sum(self.per_table_rows.values())
 
 
+def _table_data_rows(
+    spec: MigrationSpec, table_schema: TableSchema
+) -> List[Tuple[Scalar, ...]]:
+    """The example rows projected onto the table's data columns."""
+    example = spec.example_for(table_schema.name)
+    data_columns = table_schema.data_columns()
+    if not data_columns:
+        raise MigrationError(
+            f"table {table_schema.name!r} has no data columns to learn from"
+        )
+    column_names = table_schema.column_names
+    data_indices = [column_names.index(c) for c in data_columns]
+    return [tuple(row[i] for i in data_indices) for row in example.rows]
+
+
+def _table_synthesis_task(
+    spec: MigrationSpec, table_schema: TableSchema
+) -> SynthesisTask:
+    """The per-table synthesis problem: data columns of the example rows."""
+    return SynthesisTask(
+        examples=[ExamplePair(spec.example_tree, _table_data_rows(spec, table_schema))],
+        name=f"table:{table_schema.name}",
+    )
+
+
+#: Per-process state of the synthesis pool: the example tree (unpickled once
+#: per worker) and a long-lived synthesizer whose context caches — tree
+#: automaton, χi sets, universes, column results — are shared by every table
+#: the worker handles, mirroring what the serial engine gets for free.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_synthesis_worker(tree_bytes: bytes, config: SynthesisConfig) -> None:
+    import pickle
+
+    _WORKER_STATE["tree"] = pickle.loads(tree_bytes)
+    _WORKER_STATE["synthesizer"] = Synthesizer(config)
+
+
+def _synthesize_table_worker(
+    payload: Tuple[str, List[Tuple[Scalar, ...]]]
+) -> Tuple[str, SynthesisResult]:
+    """Process-pool entry point: synthesize one table's program.
+
+    Runs in a worker process against the worker's copy of the example tree;
+    only the (picklable) :class:`SynthesisResult` travels back.  Example-row
+    alignment and foreign-key learning stay in the parent, where node
+    identities refer to the parent's tree.
+    """
+    name, data_rows = payload
+    tree: HDT = _WORKER_STATE["tree"]  # type: ignore[assignment]
+    synthesizer: Synthesizer = _WORKER_STATE["synthesizer"]  # type: ignore[assignment]
+    task = SynthesisTask(
+        examples=[ExamplePair(tree, data_rows)], name=f"table:{name}"
+    )
+    return name, synthesizer.synthesize(task)
+
+
 class MigrationEngine:
     """Synthesize per-table programs and migrate full datasets to a database.
 
@@ -260,28 +322,73 @@ class MigrationEngine:
     schemas are structural, and tiny per-table examples would otherwise make
     constant comparisons look spuriously attractive to the Occam's-razor
     ranking.
+
+    ``jobs`` controls per-table synthesis parallelism: tables are independent
+    synthesis problems, so with ``jobs > 1`` they are fanned out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=0`` uses the CPU
+    count).  Key-rule learning runs in the parent afterwards — it aligns
+    example rows against the parent's tree — and the learned programs are
+    identical to a serial run.
     """
 
-    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[SynthesisConfig] = None, *, jobs: int = 1
+    ) -> None:
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (got {jobs})")
         self.config = config if config is not None else SynthesisConfig.for_migration()
+        self.jobs = jobs
         self.synthesizer = Synthesizer(self.config)
 
     # ------------------------------------------------------------ synthesis
     def learn(self, spec: MigrationSpec) -> Tuple[Dict[str, TableProgram], Dict[str, float]]:
         """Learn a program and key rules for every table of the target schema."""
+        results = self._synthesis_results(spec)
         programs: Dict[str, TableProgram] = {}
         per_table_time: Dict[str, float] = {}
         for table_schema in spec.schema.topological_order():
             start = time.perf_counter()
-            programs[table_schema.name] = self._learn_table(spec, table_schema, programs)
-            per_table_time[table_schema.name] = time.perf_counter() - start
+            programs[table_schema.name] = self._learn_table(
+                spec, table_schema, programs, results.get(table_schema.name)
+            )
+            per_table_time[table_schema.name] = (
+                time.perf_counter() - start
+            ) + results.get(table_schema.name, _NO_RESULT).synthesis_time
         return programs, per_table_time
+
+    def _synthesis_results(self, spec: MigrationSpec) -> Dict[str, SynthesisResult]:
+        """Phase 1: per-table program synthesis, serial or process-parallel."""
+        jobs = self.jobs
+        if jobs == 1:
+            return {}
+        import os
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        tables = spec.schema.topological_order()
+        workers = jobs if jobs else os.cpu_count() or 1
+        workers = min(workers, len(tables)) or 1
+        payloads = [
+            (table_schema.name, _table_data_rows(spec, table_schema))
+            for table_schema in tables
+        ]
+        tree_bytes = pickle.dumps(spec.example_tree)
+        results: Dict[str, SynthesisResult] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_synthesis_worker,
+            initargs=(tree_bytes, self.config),
+        ) as pool:
+            for name, result in pool.map(_synthesize_table_worker, payloads):
+                results[name] = result
+        return results
 
     def _learn_table(
         self,
         spec: MigrationSpec,
         table_schema: TableSchema,
         learned: Dict[str, TableProgram],
+        result: Optional[SynthesisResult] = None,
     ) -> TableProgram:
         example = spec.example_for(table_schema.name)
         data_columns = table_schema.data_columns()
@@ -292,12 +399,9 @@ class MigrationEngine:
                 f"table {table_schema.name!r} has no data columns to learn from"
             )
 
-        data_rows = [tuple(row[i] for i in data_indices) for row in example.rows]
-        task = SynthesisTask(
-            examples=[ExamplePair(spec.example_tree, data_rows)],
-            name=f"table:{table_schema.name}",
-        )
-        result = self.synthesizer.synthesize(task)
+        if result is None:
+            task = _table_synthesis_task(spec, table_schema)
+            result = self.synthesizer.synthesize(task)
         if not result.success or result.program is None:
             raise MigrationError(
                 f"failed to synthesize a program for table {table_schema.name!r}: "

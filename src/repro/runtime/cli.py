@@ -203,15 +203,20 @@ def _acquire_plan(args, spec: Spec, *, allow_learn: bool) -> Tuple[MigrationPlan
     if not allow_learn:
         raise CLIError("run requires --plan (use `migrate` to learn and run at once)")
     migration_spec = spec.migration_spec()
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        jobs = spec.get_int("jobs", 1)
+    if jobs < 0:
+        raise CLIError(f"--jobs must be >= 0 (got {jobs})")
     if args.no_cache:
-        plan = MigrationPlan.learn(migration_spec)
+        plan = MigrationPlan.learn(migration_spec, jobs=jobs)
         plan.source_format = spec.format
         return plan, "synthesized (cache disabled)"
     cache = PlanCache(args.cache_dir or spec.get("cache_dir", DEFAULT_CACHE_DIR))
     cached = cache.load(migration_spec)
     if cached is not None:
         return cached, f"cache hit ({cache.path_for(cached.metadata.get('spec_fingerprint', '?'))})"
-    plan = MigrationPlan.learn(migration_spec)
+    plan = MigrationPlan.learn(migration_spec, jobs=jobs)
     plan.source_format = spec.format
     path = cache.store(migration_spec, plan)
     return plan, f"synthesized and cached ({path})"
@@ -340,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--plan", help="path to an existing plan JSON (skips synthesis)")
         sub.add_argument("--no-cache", action="store_true", help="bypass the plan cache")
         sub.add_argument("--cache-dir", help="plan cache directory (default: .repro-cache)")
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            help="parallel per-table synthesis processes (0 = CPU count, default 1)",
+        )
 
     def add_execution(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--backend", choices=["memory", "sqlite"], help="storage backend")

@@ -118,9 +118,19 @@ class MigrationPlan:
 
     # ------------------------------------------------------------ learning
     @staticmethod
-    def learn(spec: MigrationSpec, engine: Optional[MigrationEngine] = None) -> "MigrationPlan":
-        """Run synthesis once and package the result as a durable plan."""
-        engine = engine if engine is not None else MigrationEngine()
+    def learn(
+        spec: MigrationSpec,
+        engine: Optional[MigrationEngine] = None,
+        *,
+        jobs: int = 1,
+    ) -> "MigrationPlan":
+        """Run synthesis once and package the result as a durable plan.
+
+        ``jobs`` fans independent per-table synthesis out over processes when
+        no explicit engine is given (``0`` = CPU count); the learned plan is
+        identical regardless of parallelism.
+        """
+        engine = engine if engine is not None else MigrationEngine(jobs=jobs)
         programs, _ = engine.learn(spec)
         return MigrationPlan.from_programs(spec.schema, programs)
 

@@ -6,25 +6,34 @@ from .column_learner import (
     construct_dfa,
     extractor_to_word,
     learn_column_extractors,
+    learn_column_extractors_eager,
+    learn_column_extractors_lazy,
     word_to_extractor,
 )
 from .config import DEFAULT_CONFIG, SynthesisConfig
+from .context import SynthesisContext
 from .predicate_learner import (
     PredicateLearningStats,
     check_program,
     classify_tuples,
+    classify_tuples_fast,
     learn_predicate,
     row_in_table,
     rows_equal,
 )
+from .predicate_matrix import build_predicate_masks, distinguishing_pairs_mask
 from .predicate_universe import construct_predicate_universe, valid_node_extractors
-from .qm import minimize, prime_implicants
+from .qm import minimize, minimize_bits, prime_implicants, prime_implicants_bits
 from .set_cover import (
     CoverError,
     branch_and_bound_cover,
+    branch_and_bound_cover_bits,
     greedy_cover,
+    greedy_cover_bits,
     ilp_cover,
+    ilp_cover_bits,
     minimum_cover,
+    minimum_cover_bits,
 )
 from .synthesizer import (
     ExamplePair,
@@ -42,24 +51,36 @@ __all__ = [
     "construct_dfa",
     "extractor_to_word",
     "learn_column_extractors",
+    "learn_column_extractors_eager",
+    "learn_column_extractors_lazy",
     "word_to_extractor",
     "DEFAULT_CONFIG",
     "SynthesisConfig",
+    "SynthesisContext",
     "PredicateLearningStats",
     "check_program",
     "classify_tuples",
+    "classify_tuples_fast",
     "learn_predicate",
     "row_in_table",
     "rows_equal",
+    "build_predicate_masks",
+    "distinguishing_pairs_mask",
     "construct_predicate_universe",
     "valid_node_extractors",
     "minimize",
+    "minimize_bits",
     "prime_implicants",
+    "prime_implicants_bits",
     "CoverError",
     "branch_and_bound_cover",
+    "branch_and_bound_cover_bits",
     "greedy_cover",
+    "greedy_cover_bits",
     "ilp_cover",
+    "ilp_cover_bits",
     "minimum_cover",
+    "minimum_cover_bits",
     "ExamplePair",
     "SynthesisError",
     "SynthesisResult",

@@ -74,6 +74,13 @@ class SynthesisConfig:
     timeout_seconds: float = 60.0
     """Soft wall-clock budget for a single synthesis task."""
 
+    # --- engine ---------------------------------------------------------------
+    vectorized: bool = True
+    """Use the bitset-vectorized engine (lazy product DFA, predicate
+    bitmatrices, shared caches).  ``False`` runs the seed algorithms —
+    eager per-example DFAs and tuple-by-tuple predicate evaluation — which
+    the equivalence tests and benchmarks compare against."""
+
 
     # ------------------------------------------------------------- presets
     @staticmethod
@@ -106,6 +113,12 @@ class SynthesisConfig:
             max_node_extractors_per_column=24,
             timeout_seconds=20.0,
         )
+
+    def seed_variant(self) -> "SynthesisConfig":
+        """The same bounds with the seed (non-vectorized) algorithms selected."""
+        from dataclasses import replace
+
+        return replace(self, vectorized=False)
 
 
 DEFAULT_CONFIG = SynthesisConfig()

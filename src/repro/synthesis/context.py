@@ -1,0 +1,157 @@
+"""Shared caches for the vectorized synthesis engine.
+
+One :class:`SynthesisContext` accompanies a :class:`~repro.synthesis.synthesizer.Synthesizer`
+for its whole lifetime and is shared across the output columns of a task and
+across the tables of a multi-table migration.  It memoizes everything the
+learner would otherwise recompute per column / per candidate table extractor:
+
+* per-tree facts — the instantiated operator alphabet, the ``value → node
+  uids`` equality classes used for DFA acceptance checks, the document
+  constants, and a column-extractor evaluation cache (all routed through the
+  tree's :class:`~repro.hdt.tree.TagIndex`);
+* node-extractor targets — ``(ϕ, node) → target`` lookups shared by predicate
+  universe construction, bitmatrix evaluation and signature deduplication;
+* learned column-extractor lists keyed by ``(trees, column values)`` — the
+  tables of one migration share many columns (keys, names, positions), so a
+  repeated column is learned once;
+* valid node-extractor sets (χi) and whole predicate universes keyed by the
+  candidate columns.
+
+Caches key trees by ``id``; the context keeps a strong reference to every
+tree it has seen so ids cannot be recycled.  A context must not be shared
+between synthesizers with different configurations (the cached artifacts
+depend on the search bounds): :meth:`bind_config` enforces that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..dsl.ast import ColumnExtractor, NodeExtractor, Predicate
+from ..dsl.semantics import eval_column_on_tree, eval_node_extractor
+from ..hdt.node import Node, Scalar
+from ..hdt.tree import HDT
+
+
+def _is_nan(value: Scalar) -> bool:
+    return isinstance(value, float) and value != value
+
+
+class _TreeFacts:
+    """Per-tree derived data, computed once and reused across the search."""
+
+    def __init__(self, tree: HDT) -> None:
+        self.tree = tree
+        self.eval_cache: Dict = {}
+        self.automaton = None
+        """The tree's shared :class:`~repro.synthesis.column_learner.TreeAutomaton`,
+        attached by the lazy column learner on first use."""
+        self._alphabet: Optional[List[Tuple]] = None
+        self._value_uids: Optional[Dict[Scalar, FrozenSet[int]]] = None
+        self._constants: Optional[List[Scalar]] = None
+
+    @property
+    def alphabet(self) -> List[Tuple]:
+        """Operator symbols instantiated for the tree, sorted by ``repr``.
+
+        The sort order matches how the eager enumeration orders out-edges, so
+        the lazy product enumeration reports words in the identical order.
+        """
+        if self._alphabet is None:
+            from .column_learner import _alphabet_for_tree
+
+            self._alphabet = sorted(_alphabet_for_tree(self.tree), key=repr)
+        return self._alphabet
+
+    def uids_for_value(self, value: Scalar) -> FrozenSet[int]:
+        """Uids of nodes whose data equals ``value`` under ``compare_values``.
+
+        Scalar equality in the DSL coincides with python ``==`` (numeric
+        cross-type equality included) except for NaN, which equals nothing —
+        NaN keys are therefore never stored and NaN lookups return the empty
+        set.  ``None`` is a legitimate value class: a ``None`` column value
+        matches every data-less (internal) node, exactly like the eager
+        cover check.
+        """
+        if self._value_uids is None:
+            table: Dict[Scalar, set] = {}
+            for node in self.tree.nodes():
+                data = node.data
+                if _is_nan(data):
+                    continue
+                table.setdefault(data, set()).add(node.uid)
+            self._value_uids = {k: frozenset(v) for k, v in table.items()}
+        if _is_nan(value):
+            return frozenset()
+        return self._value_uids.get(value, frozenset())
+
+    @property
+    def constants(self) -> List[Scalar]:
+        if self._constants is None:
+            self._constants = self.tree.constants()
+        return self._constants
+
+
+class SynthesisContext:
+    """Cross-column, cross-table caches for one synthesis configuration."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[int, _TreeFacts] = {}
+        self._config_token: Optional[tuple] = None
+        self.node_targets: Dict[Tuple[NodeExtractor, int], Optional[Node]] = {}
+        self.column_results: Dict[tuple, List[ColumnExtractor]] = {}
+        self.column_data: Dict[Tuple[int, ColumnExtractor], frozenset] = {}
+        self.chi: Dict[tuple, List[NodeExtractor]] = {}
+        self.universes: Dict[tuple, List[Predicate]] = {}
+
+    # ----------------------------------------------------------- bookkeeping
+    def bind_config(self, config) -> None:
+        """Pin the context to one configuration; reject cross-config sharing."""
+        token = (id(config), config)
+        if self._config_token is None:
+            self._config_token = token
+        elif self._config_token[1] != config:
+            raise ValueError(
+                "a SynthesisContext cannot be shared between different "
+                "synthesis configurations"
+            )
+
+    def facts(self, tree: HDT) -> _TreeFacts:
+        facts = self._facts.get(id(tree))
+        if facts is None:
+            facts = _TreeFacts(tree)
+            self._facts[id(tree)] = facts
+        return facts
+
+    def trees_key(self, trees) -> tuple:
+        """A hashable cache key identifying an ordered sequence of trees."""
+        return tuple(id(self.facts(t).tree) for t in trees)
+
+    # ------------------------------------------------------------ evaluation
+    def eval_column(self, extractor: ColumnExtractor, tree: HDT) -> List[Node]:
+        """Evaluate a column extractor on a tree with the shared per-tree cache."""
+        return eval_column_on_tree(extractor, tree, cache=self.facts(tree).eval_cache)
+
+    def column_data_values(self, extractor: ColumnExtractor, tree: HDT) -> frozenset:
+        """The set of data values the extractor produces on the tree.
+
+        Used by the over-approximation check (``R ⊆ [[ψ]]T``); membership in
+        the set coincides with value-aware equality (NaN handled by the
+        caller).
+        """
+        key = (id(self.facts(tree).tree), extractor)
+        hit = self.column_data.get(key)
+        if hit is None:
+            hit = frozenset(
+                n.data for n in self.eval_column(extractor, tree) if not _is_nan(n.data)
+            )
+            self.column_data[key] = hit
+        return hit
+
+    def target_of(self, extractor: NodeExtractor, node: Node) -> Optional[Node]:
+        """Memoized ``(node extractor, node) → target`` evaluation."""
+        key = (extractor, node.uid)
+        cache = self.node_targets
+        if key not in cache:
+            cache[key] = eval_node_extractor(extractor, node)
+        return cache[key]

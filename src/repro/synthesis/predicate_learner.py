@@ -205,12 +205,30 @@ def learn_predicate(
     config: SynthesisConfig = DEFAULT_CONFIG,
     *,
     stats: Optional[PredicateLearningStats] = None,
+    context=None,
 ) -> Optional[Predicate]:
     """Algorithm 3: learn a filtering predicate for a candidate table extractor.
 
     Returns ``None`` when the positive and negative tuples cannot be separated
     by any boolean combination of predicates in the universe.
+    ``config.vectorized`` selects the bitmatrix engine (default) or the seed
+    tuple-by-tuple evaluation; both return the same predicate.
     """
+    if config.vectorized:
+        return _learn_predicate_vectorized(
+            examples, table_extractor, config, stats=stats, context=context
+        )
+    return _learn_predicate_seed(examples, table_extractor, config, stats=stats)
+
+
+def _learn_predicate_seed(
+    examples: Sequence[Example],
+    table_extractor: TableExtractor,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    *,
+    stats: Optional[PredicateLearningStats] = None,
+) -> Optional[Predicate]:
+    """The seed algorithm: per-tuple feature matrix, list-based solvers."""
     trees = [tree for tree, _ in examples]
 
     positives, negatives = classify_tuples(
@@ -312,6 +330,214 @@ def learn_predicate(
     if not all(eval_predicate(formula, t) for t in positives):
         return None
     if any(eval_predicate(formula, t) for t in negatives):
+        return None
+    return formula
+
+
+def classify_tuples_fast(
+    examples: Sequence[Example],
+    table_extractor: TableExtractor,
+    *,
+    max_rows: Optional[int] = None,
+    context=None,
+) -> Tuple[List[NodeTuple], List[NodeTuple]]:
+    """Hash-based twin of :func:`classify_tuples` (same tuples, same order).
+
+    Value-aware row equality coincides with python tuple equality (numeric
+    cross-type equality included) for every scalar except NaN: ``set``
+    membership short-circuits on object *identity*, so a NaN object shared
+    between the document and an output row would match even though
+    ``compare_values`` says NaN equals nothing.  Output rows containing NaN
+    are therefore dropped from the hash set up front — they can never match a
+    document row — after which membership is one exact set lookup instead of
+    a scan.  Column evaluations go through the shared per-tree cache when a
+    context is provided.
+    """
+    from .context import SynthesisContext, _is_nan
+
+    if context is None:
+        context = SynthesisContext()
+    positives: List[NodeTuple] = []
+    negatives: List[NodeTuple] = []
+    from itertools import product as _product
+
+    for tree, output_rows in examples:
+        columns = [context.eval_column(col, tree) for col in table_extractor.columns]
+        total = 1
+        for column in columns:
+            total *= len(column)
+        if max_rows is not None and total > max_rows:
+            raise MemoryError(
+                f"intermediate table too large ({total} rows > {max_rows})"
+            )
+        expected = {
+            row
+            for row in map(tuple, output_rows)
+            if not any(_is_nan(value) for value in row)
+        }
+        for node_tuple in _product(*columns):
+            data_row = tuple(node.data for node in node_tuple)
+            if data_row in expected:
+                positives.append(node_tuple)
+            else:
+                negatives.append(node_tuple)
+    return positives, negatives
+
+
+def _learn_predicate_vectorized(
+    examples: Sequence[Example],
+    table_extractor: TableExtractor,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    *,
+    stats: Optional[PredicateLearningStats] = None,
+    context=None,
+) -> Optional[Predicate]:
+    """The bitmatrix engine: identical decisions, bitset representation.
+
+    Every stage of Algorithm 3 runs on integer bitmasks over the example tuple
+    space: the universe is evaluated once per distinct column node
+    (:mod:`repro.synthesis.predicate_matrix`), feature deduplication compares
+    mask integers, the Algorithm 4 cover instance packs (positive, negative)
+    pairs into bits, and Quine–McCluskey minimizes over packed minterms.  The
+    solvers make the same tie-break choices as their list-based counterparts,
+    so the returned predicate is byte-identical to the seed learner's.
+    """
+    from .bitset import full_mask
+    from .context import SynthesisContext
+    from .predicate_matrix import (
+        build_predicate_masks,
+        distinguishing_pairs_mask,
+        dnf_mask,
+    )
+    from .qm import minimize_bits
+    from .set_cover import minimum_cover_bits
+
+    if context is None:
+        context = SynthesisContext()
+    trees = [tree for tree, _ in examples]
+
+    positives, negatives = classify_tuples_fast(
+        examples,
+        table_extractor,
+        max_rows=config.max_intermediate_rows,
+        context=context,
+    )
+    if stats is not None:
+        stats.positive_examples = len(positives)
+        stats.negative_examples = len(negatives)
+
+    if not positives:
+        from ..dsl.ast import False_
+
+        return False_() if negatives else True_()
+    if not negatives:
+        return True_()
+
+    universe = construct_predicate_universe(
+        trees, table_extractor.columns, config, context=context
+    )
+    if stats is not None:
+        stats.universe_size = len(universe)
+    if not universe:
+        return None
+
+    arity = len(table_extractor.columns)
+    tuples = positives + negatives
+    num_pos, num_neg = len(positives), len(negatives)
+    num_tuples = num_pos + num_neg
+    tuples_full = full_mask(num_tuples)
+
+    masks = build_predicate_masks(universe, tuples, arity, context)
+
+    # Feature deduplication: constant masks can never split a (positive,
+    # negative) pair; equal masks keep only the simplest predicate.
+    by_mask: Dict[int, int] = {}
+    kept_indices: List[int] = []
+    for idx, predicate in enumerate(universe):
+        mask = masks[idx]
+        if mask == 0 or mask == tuples_full:
+            continue
+        previous = by_mask.get(mask)
+        if previous is None:
+            by_mask[mask] = idx
+            kept_indices.append(idx)
+        elif _predicate_sort_key(predicate) < _predicate_sort_key(universe[previous]):
+            kept_indices[kept_indices.index(previous)] = idx
+            by_mask[mask] = idx
+    if stats is not None:
+        stats.distinct_feature_vectors = len(kept_indices)
+    if not kept_indices:
+        return None
+
+    # ------------------------------------------------------------------ ILP
+    # Algorithm 4 as a bitmask cover: element p*num_neg+n is pair (p, n).
+    pair_masks = [
+        distinguishing_pairs_mask(masks[idx], num_pos, num_neg) for idx in kept_indices
+    ]
+    pair_universe = full_mask(num_pos * num_neg)
+    try:
+        chosen_positions = minimum_cover_bits(
+            pair_masks,
+            pair_universe,
+            strategy=config.cover_strategy,
+            exact_limit=config.exact_cover_limit,
+        )
+    except CoverError:
+        return None
+
+    selected_indices = [kept_indices[i] for i in sorted(set(chosen_positions))]
+    selected = [universe[i] for i in selected_indices]
+    selected_masks = [masks[i] for i in selected_indices]
+    if stats is not None:
+        stats.selected_predicates = len(selected)
+
+    # --------------------------------------------------------- QM minimization
+    num_vars = len(selected)
+    # Minterm of tuple t: predicate k contributes bit (num_vars-1-k) — the
+    # MSB-first packing the seed's bits_to_minterm uses.
+    from .bitset import iter_bits
+
+    minterms_of: List[int] = [0] * num_tuples
+    for k, mask in enumerate(selected_masks):
+        weight = 1 << (num_vars - 1 - k)
+        for position in iter_bits(mask):
+            minterms_of[position] |= weight
+    pos_assignments = set(minterms_of[:num_pos])
+    neg_assignments = set(minterms_of[num_pos:])
+    if pos_assignments & neg_assignments:
+        # The minimum cover guarantees this cannot happen; guard anyway.
+        return None
+
+    minterms = sorted(pos_assignments)
+    if num_vars <= 12:
+        all_terms = set(range(1 << num_vars))
+        dont_cares = sorted(all_terms - pos_assignments - neg_assignments)
+    else:  # pragma: no cover - extremely large selections
+        dont_cares = []
+
+    implicants = minimize_bits(
+        num_vars, minterms, dont_cares, cover_strategy=config.cover_strategy
+    )
+    if stats is not None:
+        stats.dnf_terms = len(implicants)
+
+    clauses = [implicant_to_clause(implicant) for implicant in implicants]
+    terms: List[Predicate] = []
+    for clause in clauses:
+        literals: List[Predicate] = []
+        for var_index, positive in clause:
+            literal = selected[var_index]
+            literals.append(literal if positive else Not(literal))
+        terms.append(conjoin(literals))
+    formula = disjoin(terms) if terms else True_()
+
+    # Final sanity check, on the masks: the classifier must accept every
+    # positive and reject every negative.
+    formula_mask = dnf_mask(clauses, selected_masks, tuples_full)
+    pos_full = full_mask(num_pos)
+    if formula_mask & pos_full != pos_full:
+        return None
+    if formula_mask >> num_pos:
         return None
     return formula
 

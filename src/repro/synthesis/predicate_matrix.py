@@ -1,0 +1,169 @@
+"""Bitmatrix evaluation of the atomic-predicate universe (vectorized engine).
+
+The seed learner evaluates every predicate of the universe Φ on every tuple of
+the intermediate table — ``O(|Φ| · |tuples|)`` node-extractor walks, the
+dominant cost of synthesis.  This module exploits the structure of the tuple
+space instead: the intermediate table is a cross product of per-column node
+lists, and every atomic predicate reads at most two tuple positions, so its
+truth value is a function of one node (``CompareConst``) or one node pair
+(``CompareNodes``).  Evaluating per *distinct node* (or node pair) and
+expanding through precomputed ``node → tuple-bitmask`` tables yields the full
+truth matrix as one integer per predicate — bit *i* set iff tuple *i*
+satisfies the predicate — at a cost proportional to the number of distinct
+column nodes rather than the number of tuples.
+
+Node-extractor targets are memoized in the shared
+:class:`~repro.synthesis.context.SynthesisContext`, so the walks are also
+shared across predicates, across candidate table extractors and across the
+tables of a multi-table task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.ast import CompareConst, CompareNodes, Op, Predicate
+from ..dsl.semantics import NodeTuple, compare_values, eval_predicate
+from ..hdt.node import Node
+from .context import SynthesisContext
+
+
+class TupleSpace:
+    """Per-column ``node uid → tuple bitmask`` tables for one tuple list."""
+
+    def __init__(self, tuples: Sequence[NodeTuple], arity: int) -> None:
+        self.num_tuples = len(tuples)
+        self.arity = arity
+        # For column c: uid -> bitmask of tuples whose c-th entry is that node,
+        # plus one representative Node per uid (identity-based, so any works).
+        self.masks: List[Dict[int, int]] = [{} for _ in range(arity)]
+        self.nodes: List[Dict[int, Node]] = [{} for _ in range(arity)]
+        for position, node_tuple in enumerate(tuples):
+            bit = 1 << position
+            for column, node in enumerate(node_tuple):
+                masks = self.masks[column]
+                uid = node.uid
+                if uid in masks:
+                    masks[uid] |= bit
+                else:
+                    masks[uid] = bit
+                    self.nodes[column][uid] = node
+
+
+def _compare_nodes(left: Optional[Node], op: Op, right: Optional[Node]) -> bool:
+    """Figure 7 node-comparison semantics (mirrors the seed ``evaluate``)."""
+    if left is None or right is None:
+        return False
+    if left.is_leaf() and right.is_leaf():
+        return compare_values(left.data, op, right.data)
+    if op is Op.EQ and not left.is_leaf() and not right.is_leaf():
+        return left is right
+    return False
+
+
+def build_predicate_masks(
+    universe: Sequence[Predicate],
+    tuples: Sequence[NodeTuple],
+    arity: int,
+    context: SynthesisContext,
+) -> List[int]:
+    """Evaluate the whole universe over the tuple space, one bitmask per predicate.
+
+    The bit order matches the tuple order (bit *i* ↔ ``tuples[i]``), so a mask
+    equals the seed's per-tuple truth vector packed LSB-first.
+    """
+    space = TupleSpace(tuples, arity)
+    target_of = context.target_of
+    masks: List[int] = []
+    for predicate in universe:
+        if isinstance(predicate, CompareConst):
+            if predicate.column >= arity:
+                masks.append(0)
+                continue
+            mask = 0
+            extractor = predicate.extractor
+            op, constant = predicate.op, predicate.constant
+            nodes = space.nodes[predicate.column]
+            for uid, tuple_mask in space.masks[predicate.column].items():
+                target = target_of(extractor, nodes[uid])
+                if target is not None and compare_values(target.data, op, constant):
+                    mask |= tuple_mask
+            masks.append(mask)
+        elif isinstance(predicate, CompareNodes):
+            i, j = predicate.left_column, predicate.right_column
+            if i >= arity or j >= arity:
+                masks.append(0)
+                continue
+            mask = 0
+            left_extractor, right_extractor = (
+                predicate.left_extractor,
+                predicate.right_extractor,
+            )
+            op = predicate.op
+            left_nodes = space.nodes[i]
+            if i == j:
+                for uid, tuple_mask in space.masks[i].items():
+                    node = left_nodes[uid]
+                    if _compare_nodes(
+                        target_of(left_extractor, node), op, target_of(right_extractor, node)
+                    ):
+                        mask |= tuple_mask
+            else:
+                right_items = [
+                    (target_of(right_extractor, node), tuple_mask)
+                    for uid, tuple_mask in space.masks[j].items()
+                    for node in (space.nodes[j][uid],)
+                ]
+                for uid, left_mask in space.masks[i].items():
+                    left = target_of(left_extractor, left_nodes[uid])
+                    if left is None:
+                        continue
+                    for right, right_mask in right_items:
+                        if _compare_nodes(left, op, right):
+                            mask |= left_mask & right_mask
+            masks.append(mask)
+        else:  # pragma: no cover - Φ only contains atomic comparisons
+            mask = 0
+            for position, node_tuple in enumerate(tuples):
+                if eval_predicate(predicate, node_tuple):
+                    mask |= 1 << position
+            masks.append(mask)
+    return masks
+
+
+def distinguishing_pairs_mask(mask: int, num_pos: int, num_neg: int) -> int:
+    """The (positive, negative) pairs a predicate distinguishes, as a bitmask.
+
+    Tuple bit layout: positives occupy bits ``0..num_pos-1`` and negatives
+    bits ``num_pos..``.  Pair ``(p, n)`` maps to bit ``p * num_neg + n`` —
+    the exact element numbering of the seed's Algorithm 4 encoding — and is
+    set iff the predicate's truth differs between positive *p* and negative
+    *n*.
+    """
+    neg_full = (1 << num_neg) - 1
+    neg_bits = (mask >> num_pos) & neg_full
+    distinguished_if_pos = neg_full & ~neg_bits
+    pairs = 0
+    for p in range(num_pos):
+        row = distinguished_if_pos if (mask >> p) & 1 else neg_bits
+        if row:
+            pairs |= row << (p * num_neg)
+    return pairs
+
+
+def dnf_mask(
+    implicant_clauses: Sequence[Sequence[Tuple[int, bool]]],
+    variable_masks: Sequence[int],
+    full: int,
+) -> int:
+    """Evaluate a DNF over predicate bitmasks: OR of ANDs of (negated) literals."""
+    formula = 0
+    for clause in implicant_clauses:
+        term = full
+        for var_index, positive in clause:
+            literal = variable_masks[var_index]
+            term &= literal if positive else full & ~literal
+            if not term:
+                break
+        formula |= term
+    return formula

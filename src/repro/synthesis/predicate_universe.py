@@ -40,6 +40,7 @@ from .config import DEFAULT_CONFIG, SynthesisConfig
 def valid_node_extractors(
     column_nodes_per_example: Sequence[Sequence[Node]],
     config: SynthesisConfig = DEFAULT_CONFIG,
+    context=None,
 ) -> List[NodeExtractor]:
     """Compute the set χi of node extractors valid for one column.
 
@@ -47,8 +48,11 @@ def valid_node_extractors(
     every node extracted for this column, in every example, never yields ⊥.
     The search grows extractors breadth-first up to
     ``config.max_node_extractor_depth`` steps and is capped at
-    ``config.max_node_extractors_per_column`` results.
+    ``config.max_node_extractors_per_column`` results.  When a
+    :class:`~repro.synthesis.context.SynthesisContext` is provided, extractor
+    applications go through its shared ``(ϕ, node) → target`` memo.
     """
+    evaluate = context.target_of if context is not None else eval_node_extractor
     all_nodes: List[Node] = [n for nodes in column_nodes_per_example for n in nodes]
     results: List[NodeExtractor] = [NodeVar()]
     frontier: List[NodeExtractor] = [NodeVar()]
@@ -61,7 +65,7 @@ def valid_node_extractors(
                 return results
             # Where does `base` land for each column node?  Candidate child
             # steps only make sense for tags/positions present at those nodes.
-            landing = [eval_node_extractor(base, n) for n in all_nodes]
+            landing = [evaluate(base, n) for n in all_nodes]
             if any(n is None for n in landing):
                 continue
 
@@ -80,9 +84,7 @@ def valid_node_extractors(
             for candidate in candidates:
                 if candidate in seen:
                     continue
-                if all(
-                    eval_node_extractor(candidate, n) is not None for n in all_nodes
-                ):
+                if all(evaluate(candidate, n) is not None for n in all_nodes):
                     seen.add(candidate)
                     results.append(candidate)
                     next_frontier.append(candidate)
@@ -95,7 +97,7 @@ def valid_node_extractors(
 
 
 def _dedupe_by_signature(
-    extractors: List[NodeExtractor], column_nodes: Sequence[Node]
+    extractors: List[NodeExtractor], column_nodes: Sequence[Node], context=None
 ) -> List[NodeExtractor]:
     """Collapse node extractors that land on identical targets for every column node.
 
@@ -105,11 +107,12 @@ def _dedupe_by_signature(
     substantially (distinct behaviours, not distinct syntax, are what matter
     for classification).
     """
+    evaluate = context.target_of if context is not None else eval_node_extractor
     seen: Dict[Tuple, NodeExtractor] = {}
     order: List[NodeExtractor] = []
     for extractor in extractors:
         signature = tuple(
-            eval_node_extractor(extractor, node).uid  # type: ignore[union-attr]
+            evaluate(extractor, node).uid  # type: ignore[union-attr]
             for node in column_nodes
         )
         previous = seen.get(signature)
@@ -123,13 +126,16 @@ def _dedupe_by_signature(
 
 
 def _collect_constants(
-    trees: Sequence[HDT], config: SynthesisConfig
+    trees: Sequence[HDT], config: SynthesisConfig, context=None
 ) -> List[Scalar]:
     """Constants from the input documents, capped at ``config.max_constants``."""
     seen: Set[Scalar] = set()
     constants: List[Scalar] = []
     for tree in trees:
-        for value in tree.constants():
+        tree_constants = (
+            context.facts(tree).constants if context is not None else tree.constants()
+        )
+        for value in tree_constants:
             if value not in seen:
                 seen.add(value)
                 constants.append(value)
@@ -139,11 +145,12 @@ def _collect_constants(
 
 
 def _extractor_yields_leaves(
-    extractor: NodeExtractor, column_nodes: Sequence[Node]
+    extractor: NodeExtractor, column_nodes: Sequence[Node], context=None
 ) -> bool:
     """True if the extractor lands on a leaf for every node of the column."""
+    evaluate = context.target_of if context is not None else eval_node_extractor
     for node in column_nodes:
-        target = eval_node_extractor(extractor, node)
+        target = evaluate(extractor, node)
         if target is None or not target.is_leaf():
             return False
     return True
@@ -153,6 +160,8 @@ def construct_predicate_universe(
     trees: Sequence[HDT],
     column_extractors: Sequence[ColumnExtractor],
     config: SynthesisConfig = DEFAULT_CONFIG,
+    *,
+    context=None,
 ) -> List[Predicate]:
     """Build the universe Φ of atomic predicates for a candidate table extractor.
 
@@ -162,6 +171,14 @@ def construct_predicate_universe(
         The input HDTs of the examples.
     column_extractors:
         The column extractors π1..πk of the candidate table extractor ψ.
+    context:
+        Optional :class:`~repro.synthesis.context.SynthesisContext`.  When
+        provided, the per-column valid-extractor sets χi, whole universes and
+        every node-extractor application are cached and shared across the
+        candidate table extractors of a column, across output columns and
+        across the tables of a multi-table task (the χi of a column extractor
+        depend only on the extractor and the example trees, not on which
+        candidate ψ it currently appears in).
 
     Returns
     -------
@@ -169,23 +186,43 @@ def construct_predicate_universe(
     ``config.max_predicate_universe``.
     """
     arity = len(column_extractors)
+    columns_key = None
+    if context is not None:
+        trees_key = context.trees_key(trees)
+        columns_key = (trees_key, tuple(column_extractors))
+        cached = context.universes.get(columns_key)
+        if cached is not None:
+            return cached
+
     # Nodes extracted per column per example (used for validity checks).
     per_column_nodes: List[List[Node]] = []
     per_column_nodes_by_example: List[List[List[Node]]] = []
     for extractor in column_extractors:
-        per_example = [eval_column_on_tree(extractor, tree) for tree in trees]
+        if context is not None:
+            per_example = [context.eval_column(extractor, tree) for tree in trees]
+        else:
+            per_example = [eval_column_on_tree(extractor, tree) for tree in trees]
         per_column_nodes_by_example.append(per_example)
         per_column_nodes.append([n for nodes in per_example for n in nodes])
 
-    chi: List[List[NodeExtractor]] = [
-        _dedupe_by_signature(
-            valid_node_extractors(per_column_nodes_by_example[i], config),
+    chi: List[List[NodeExtractor]] = []
+    for i in range(arity):
+        if context is not None:
+            chi_key = (trees_key, column_extractors[i])
+            hit = context.chi.get(chi_key)
+            if hit is not None:
+                chi.append(hit)
+                continue
+        computed = _dedupe_by_signature(
+            valid_node_extractors(per_column_nodes_by_example[i], config, context),
             per_column_nodes[i],
+            context,
         )
-        for i in range(arity)
-    ]
+        if context is not None:
+            context.chi[chi_key] = computed
+        chi.append(computed)
 
-    constants = _collect_constants(trees, config)
+    constants = _collect_constants(trees, config, context)
     universe: List[Predicate] = []
     seen: Set[Predicate] = set()
 
@@ -198,36 +235,38 @@ def construct_predicate_universe(
         universe.append(predicate)
         return True
 
-    # Rule (4): constant comparisons.  Only generated for node extractors that
-    # land on leaves (internal nodes carry no data, so comparing them with a
-    # constant is always false and never useful as a classifier feature).
-    # Ordering comparisons (<, <=, >, >=) are only generated for *numeric*
-    # constants: ordering arbitrary strings drawn from the document almost
-    # never reflects user intent and inflates the universe.
-    ordering_ops = {Op.LT, Op.LE, Op.GT, Op.GE}
-    for i in range(arity):
-        for extractor in chi[i]:
-            if not _extractor_yields_leaves(extractor, per_column_nodes[i]):
-                continue
-            for constant in constants:
-                numeric = isinstance(constant, (int, float)) and not isinstance(constant, bool)
-                for op in sorted(config.constant_ops, key=lambda o: o.value):
-                    if op in ordering_ops and not numeric:
-                        continue
-                    if not add(CompareConst(extractor, i, op, constant)):
-                        return universe
+    def build() -> None:
+        # Rule (4): constant comparisons.  Only generated for node extractors
+        # that land on leaves (internal nodes carry no data, so comparing them
+        # with a constant is always false and never useful as a classifier
+        # feature).  Ordering comparisons (<, <=, >, >=) are only generated
+        # for *numeric* constants: ordering arbitrary strings drawn from the
+        # document almost never reflects user intent and inflates the universe.
+        ordering_ops = {Op.LT, Op.LE, Op.GT, Op.GE}
+        for i in range(arity):
+            for extractor in chi[i]:
+                if not _extractor_yields_leaves(extractor, per_column_nodes[i], context):
+                    continue
+                for constant in constants:
+                    numeric = isinstance(constant, (int, float)) and not isinstance(constant, bool)
+                    for op in sorted(config.constant_ops, key=lambda o: o.value):
+                        if op in ordering_ops and not numeric:
+                            continue
+                        if not add(CompareConst(extractor, i, op, constant)):
+                            return
 
-    # Rule (5): node-to-node comparisons between columns i and j.
-    for i in range(arity):
-        for j in range(i, arity):
-            for phi1 in chi[i]:
-                for phi2 in chi[j]:
-                    if i == j and phi1 == phi2:
-                        continue
-                    for op in sorted(config.node_pair_ops, key=lambda o: o.value):
-                        if not add(
-                            CompareNodes(phi1, i, op, phi2, j)
-                        ):
-                            return universe
+        # Rule (5): node-to-node comparisons between columns i and j.
+        for i in range(arity):
+            for j in range(i, arity):
+                for phi1 in chi[i]:
+                    for phi2 in chi[j]:
+                        if i == j and phi1 == phi2:
+                            continue
+                        for op in sorted(config.node_pair_ops, key=lambda o: o.value):
+                            if not add(CompareNodes(phi1, i, op, phi2, j)):
+                                return
 
+    build()
+    if context is not None:
+        context.universes[columns_key] = universe
     return universe

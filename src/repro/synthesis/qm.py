@@ -129,6 +129,120 @@ def minimize(
     return selected
 
 
+# --------------------------------------------------------------------------- #
+# Bitmask implementation
+# --------------------------------------------------------------------------- #
+#
+# The vectorized predicate learner represents an implicant as a pair of
+# integers ``(value, care)`` over minterm bit positions: ``care`` has a 1 for
+# every specified variable and ``value ⊆ care`` gives their polarities.  The
+# merge step then becomes one XOR, and candidate partners are found by popcount
+# bucketing instead of the all-pairs scan of :func:`prime_implicants` — the
+# prime-implicant *set* is identical (Quine–McCluskey primes are canonical),
+# and results are converted back to tuple form and sorted with the same key so
+# downstream selection is byte-for-byte the list-based behaviour.
+
+from .bitset import full_mask, popcount
+
+
+def _bits_implicant_to_tuple(value: int, care: int, num_vars: int) -> Implicant:
+    out: List[Optional[int]] = []
+    for i in range(num_vars):
+        bit = 1 << (num_vars - 1 - i)
+        out.append(((value & bit) and 1 or 0) if care & bit else None)
+    return tuple(out)
+
+
+def prime_implicants_bits(
+    num_vars: int, minterms: Iterable[int], dont_cares: Iterable[int] = ()
+) -> List[Implicant]:
+    """Bitmask twin of :func:`prime_implicants` (identical result list)."""
+    care_all = full_mask(num_vars)
+    current: Set[Tuple[int, int]] = {
+        (m, care_all) for m in set(minterms) | set(dont_cares)
+    }
+    if not current:
+        return []
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged_any: Set[Tuple[int, int]] = set()
+        used: Set[Tuple[int, int]] = set()
+        # Group by care mask, bucket by popcount: merge partners share the
+        # mask and differ in exactly one specified bit, so their popcounts
+        # differ by exactly one.
+        by_mask: Dict[int, Dict[int, Set[int]]] = {}
+        for value, care in current:
+            by_mask.setdefault(care, {}).setdefault(popcount(value), set()).add(value)
+        for care, buckets in by_mask.items():
+            for count, values in buckets.items():
+                upper = buckets.get(count + 1)
+                if not upper:
+                    continue
+                for value in values:
+                    candidates = care & ~value
+                    while candidates:
+                        bit = candidates & -candidates
+                        candidates ^= bit
+                        partner = value | bit
+                        if partner in upper:
+                            merged_any.add((value, care & ~bit))
+                            used.add((value, care))
+                            used.add((partner, care))
+        primes |= current - used
+        current = merged_any
+    tuples = [_bits_implicant_to_tuple(v, c, num_vars) for v, c in primes]
+    return sorted(
+        tuples, key=lambda t: (sum(1 for x in t if x is not None), t.__repr__())
+    )
+
+
+def minimize_bits(
+    num_vars: int,
+    minterms: Sequence[int],
+    dont_cares: Sequence[int] = (),
+    *,
+    cover_strategy: str = "auto",
+) -> List[Implicant]:
+    """Bitmask twin of :func:`minimize` (identical implicant selection).
+
+    Elements of the cover instance are indexed by the sorted ON-set, which
+    orders them exactly like the minterm values the list-based path uses, so
+    the (tie-break-normalized) cover solvers make the same choices.
+    """
+    from .set_cover import minimum_cover_bits
+
+    on_set = sorted(set(minterms))
+    if not on_set:
+        return []
+    if num_vars == 0:
+        return [tuple()]
+    primes = prime_implicants_bits(num_vars, on_set, dont_cares)
+
+    cover_masks: List[int] = []
+    for prime in primes:
+        care = 0
+        value = 0
+        for i, lit in enumerate(prime):
+            if lit is None:
+                continue
+            bit = 1 << (num_vars - 1 - i)
+            care |= bit
+            if lit:
+                value |= bit
+        covered = 0
+        for position, m in enumerate(on_set):
+            if (m & care) == value:
+                covered |= 1 << position
+        cover_masks.append(covered)
+
+    chosen = minimum_cover_bits(
+        cover_masks, full_mask(len(on_set)), strategy=cover_strategy
+    )
+    selected = [primes[i] for i in sorted(set(chosen))]
+    selected.sort(key=lambda t: (sum(1 for x in t if x is not None), repr(t)))
+    return selected
+
+
 def implicant_to_clause(implicant: Implicant) -> List[Tuple[int, bool]]:
     """Convert an implicant into a list of (variable index, positive?) literals."""
     return [(i, bool(bit)) for i, bit in enumerate(implicant) if bit is not None]

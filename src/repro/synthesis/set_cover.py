@@ -129,8 +129,11 @@ def branch_and_bound_cover(
             return
         if len(chosen) + lower_bound(remaining) >= best_size:
             return
-        # most constrained uncovered element
-        pivot = min(remaining, key=lambda e: len(containing[e]))
+        # Most constrained uncovered element; ties broken by the smallest
+        # element so the search order is well-defined (the bitmask solver
+        # makes the identical choices, which keeps both solvers returning the
+        # same optimal cover rather than an arbitrary one of equal size).
+        pivot = min(remaining, key=lambda e: (len(containing[e]), e))
         for idx in containing[pivot]:
             search(remaining - normalized[idx], chosen + [idx])
 
@@ -175,6 +178,135 @@ def ilp_cover(sets: Sequence[Set[int]], universe: Set[int]) -> List[int]:
     if not result.success or result.x is None:  # pragma: no cover - solver hiccup
         return branch_and_bound_cover(sets, set(universe))
     return [idx for idx, val in enumerate(result.x) if val > 0.5]
+
+
+# --------------------------------------------------------------------------- #
+# Bitmask solvers
+# --------------------------------------------------------------------------- #
+#
+# The vectorized predicate learner represents cover instances as integers: set
+# k is a mask whose bit e says "set k contains element e".  The solvers below
+# mirror the list-based ones decision for decision (same greedy tie-breaks,
+# same branch-and-bound pivoting), so both representations return the same
+# cover — the equivalence tests rely on that.
+
+from .bitset import bits_to_set, iter_bits, popcount
+
+
+def _check_coverable_bits(masks: Sequence[int], universe_mask: int) -> None:
+    covered = 0
+    for mask in masks:
+        covered |= mask
+    missing = universe_mask & ~covered
+    if missing:
+        raise CoverError(f"{popcount(missing)} elements cannot be covered by any set")
+
+
+def greedy_cover_bits(masks: Sequence[int], universe_mask: int) -> List[int]:
+    """Greedy set cover over bitmask sets (same choices as :func:`greedy_cover`)."""
+    _check_coverable_bits(masks, universe_mask)
+    remaining = universe_mask
+    chosen: List[int] = []
+    while remaining:
+        best_idx = -1
+        best_gain = 0
+        for idx, mask in enumerate(masks):
+            gain = popcount(mask & remaining)
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = idx
+        if best_idx < 0:  # pragma: no cover - guarded by _check_coverable_bits
+            raise CoverError("greedy cover failed to make progress")
+        chosen.append(best_idx)
+        remaining &= ~masks[best_idx]
+    return chosen
+
+
+def branch_and_bound_cover_bits(
+    masks: Sequence[int], universe_mask: int, *, max_nodes: int = 200_000
+) -> List[int]:
+    """Exact minimum cover over bitmask sets.
+
+    Pivots on the uncovered element contained in the fewest sets (ties: the
+    smallest element) and branches over its containing sets in index order —
+    the identical search tree as :func:`branch_and_bound_cover`, with set
+    difference and cardinality replaced by single integer operations.
+    """
+    _check_coverable_bits(masks, universe_mask)
+
+    best = greedy_cover_bits(masks, universe_mask)
+    best_size = len(best)
+
+    containing: Dict[int, List[int]] = {}
+    for idx, mask in enumerate(masks):
+        for element in iter_bits(mask & universe_mask):
+            containing.setdefault(element, []).append(idx)
+
+    max_set_size = max((popcount(m) for m in masks), default=1) or 1
+    nodes_visited = 0
+
+    def pivot_of(remaining: int) -> int:
+        # Ascending-bit scan with strict `<`: ties keep the smallest element,
+        # matching the set solver's min-by-(count, element) pivot exactly.
+        best_element = -1
+        best_count = None
+        for element in iter_bits(remaining):
+            count = len(containing[element])
+            if best_count is None or count < best_count:
+                best_count = count
+                best_element = element
+                if count == 1:
+                    break
+        return best_element
+
+    def search(remaining: int, chosen: List[int]) -> None:
+        nonlocal best, best_size, nodes_visited
+        nodes_visited += 1
+        if nodes_visited > max_nodes:
+            return
+        if not remaining:
+            if len(chosen) < best_size:
+                best = list(chosen)
+                best_size = len(chosen)
+            return
+        if len(chosen) + -(-popcount(remaining) // max_set_size) >= best_size:
+            return
+        pivot = pivot_of(remaining)
+        for idx in containing[pivot]:
+            search(remaining & ~masks[idx], chosen + [idx])
+
+    search(universe_mask, [])
+    return best
+
+
+def ilp_cover_bits(masks: Sequence[int], universe_mask: int) -> List[int]:
+    """0-1 ILP cover over bitmask sets (delegates to :func:`ilp_cover`)."""
+    return ilp_cover([bits_to_set(m) for m in masks], bits_to_set(universe_mask))
+
+
+def minimum_cover_bits(
+    masks: Sequence[int],
+    universe_mask: int,
+    *,
+    strategy: str = "auto",
+    exact_limit: int = 26,
+) -> List[int]:
+    """Bitmask twin of :func:`minimum_cover` (same strategies, same answers)."""
+    if not universe_mask:
+        return []
+    if strategy == "greedy":
+        return greedy_cover_bits(masks, universe_mask)
+    if strategy == "branch_and_bound":
+        return branch_and_bound_cover_bits(masks, universe_mask)
+    if strategy == "ilp":
+        return ilp_cover_bits(masks, universe_mask)
+    if strategy != "auto":
+        raise ValueError(f"unknown cover strategy: {strategy!r}")
+    if len(masks) <= exact_limit:
+        return branch_and_bound_cover_bits(masks, universe_mask)
+    if _HAVE_SCIPY_MILP:
+        return ilp_cover_bits(masks, universe_mask)
+    return greedy_cover_bits(masks, universe_mask)  # pragma: no cover - no scipy fallback
 
 
 # --------------------------------------------------------------------------- #

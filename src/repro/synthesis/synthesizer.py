@@ -31,6 +31,7 @@ from ..hdt.node import Scalar
 from ..hdt.tree import HDT
 from .column_learner import ColumnLearningError, learn_column_extractors
 from .config import DEFAULT_CONFIG, SynthesisConfig
+from .context import SynthesisContext, _is_nan
 from .predicate_learner import (
     PredicateLearningStats,
     check_program,
@@ -102,10 +103,24 @@ class SynthesisResult:
 
 
 class Synthesizer:
-    """Programming-by-example synthesizer for tree-to-table transformations."""
+    """Programming-by-example synthesizer for tree-to-table transformations.
 
-    def __init__(self, config: SynthesisConfig = DEFAULT_CONFIG) -> None:
+    A synthesizer owns a :class:`~repro.synthesis.context.SynthesisContext`
+    shared across all its :meth:`synthesize` calls (vectorized engine only):
+    the tables of a multi-table migration reuse per-tree indexes, learned
+    column-extractor lists, χi sets, predicate universes and node-extractor
+    target memos.  Pass an explicit ``context`` to share caches between
+    synthesizers with the same configuration.
+    """
+
+    def __init__(
+        self,
+        config: SynthesisConfig = DEFAULT_CONFIG,
+        context: Optional[SynthesisContext] = None,
+    ) -> None:
         self.config = config
+        self.context = context if context is not None else SynthesisContext()
+        self.context.bind_config(config)
 
     # ------------------------------------------------------------------ API
     def synthesize(self, task: SynthesisTask) -> SynthesisResult:
@@ -121,14 +136,16 @@ class Synthesizer:
                 message="output example has no rows; cannot infer the table arity",
             )
 
-        # Phase 1: column extractor candidates (Algorithm 2).
+        # Phase 1: column extractor candidates (Algorithm 2).  Identical
+        # columns — ubiquitous across the tables of one migration (keys,
+        # names, positions) — are learned once via the shared context cache.
         column_candidates: List[List] = []
         try:
             for j in range(arity):
                 examples = [
                     (ex.tree, [row[j] for row in ex.rows]) for ex in task.examples
                 ]
-                column_candidates.append(learn_column_extractors(examples, config))
+                column_candidates.append(self._learn_column(examples, config))
         except ColumnLearningError as error:
             return SynthesisResult(
                 program=None,
@@ -168,14 +185,18 @@ class Synthesizer:
             stats = PredicateLearningStats()
             try:
                 predicate = learn_predicate(
-                    predicate_examples, table_extractor, config, stats=stats
+                    predicate_examples,
+                    table_extractor,
+                    config,
+                    stats=stats,
+                    context=self.context if config.vectorized else None,
                 )
             except MemoryError:
                 continue
             if predicate is None:
                 continue
             program = Program(table_extractor, predicate)
-            if not check_program(program, predicate_examples):
+            if not self._check_program(program, predicate_examples):
                 continue
             cost = program_cost(program)
             if best_cost is None or cost < best_cost:
@@ -207,6 +228,21 @@ class Synthesizer:
         )
 
     # ------------------------------------------------------------- internals
+    def _learn_column(self, examples, config: SynthesisConfig) -> List:
+        """Learn one column's extractor candidates, cached across tasks."""
+        if not config.vectorized:
+            return learn_column_extractors(examples, config)
+        context = self.context
+        key = (
+            context.trees_key(tree for tree, _ in examples),
+            tuple(tuple(values) for _, values in examples),
+        )
+        hit = context.column_results.get(key)
+        if hit is None:
+            hit = learn_column_extractors(examples, config, context)
+            context.column_results[key] = hit
+        return hit
+
     def _enumerate_combinations(self, column_candidates: Sequence[Sequence]):
         """Lazily yield combinations of per-column extractors, cheapest first.
 
@@ -247,9 +283,22 @@ class Synthesizer:
 
         Every value of output column j must be producible by column extractor
         πj; otherwise no filtering predicate can recover the missing rows.
+        The vectorized engine answers from cached per-extractor value sets
+        (value-aware membership, NaN never matches); the seed path scans.
         """
         from ..dsl.semantics import compare_values
         from ..dsl.ast import Op
+
+        if self.config.vectorized:
+            context = self.context
+            for example in examples:
+                for j, extractor in enumerate(table_extractor.columns):
+                    extracted = context.column_data_values(extractor, example.tree)
+                    for row in example.rows:
+                        value = row[j]
+                        if _is_nan(value) or value not in extracted:
+                            return False
+            return True
 
         for example in examples:
             for j, extractor in enumerate(table_extractor.columns):
@@ -258,6 +307,40 @@ class Synthesizer:
                 for value in values:
                     if not any(compare_values(value, Op.EQ, d) for d in extracted):
                         return False
+        return True
+
+    def _check_program(
+        self, program: Program, examples: Sequence[Tuple[HDT, Sequence[Row]]]
+    ) -> bool:
+        """Final verification that the program reproduces every output table.
+
+        The vectorized engine uses hash-based row membership (equivalent to
+        the value-aware scan) and the shared column-evaluation cache; the seed
+        path defers to :func:`check_program`.
+        """
+        if not self.config.vectorized:
+            return check_program(program, examples)
+        context = self.context
+        for tree, expected_rows in examples:
+            produced = run_program(
+                program, tree, cache=context.facts(tree).eval_cache
+            )
+            produced_set = set(produced)
+            expected_set = set(map(tuple, expected_rows))
+            # A row containing NaN can never be matched under compare_values
+            # (NaN equals nothing), so its mere presence on either side fails
+            # the check — guarding against set membership's object-identity
+            # shortcut treating a shared NaN object as equal.
+            if any(
+                any(_is_nan(value) for value in row)
+                for rows in (expected_set, produced_set)
+                for row in rows
+            ):
+                return False
+            if any(row not in produced_set for row in expected_set):
+                return False
+            if any(row not in expected_set for row in produced_set):
+                return False
         return True
 
 
