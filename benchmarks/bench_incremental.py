@@ -1,0 +1,299 @@
+"""Benchmark E3: incremental synthesis across spec edits — cross-PR perf record.
+
+Simulates the interactive schema-design loop on the three Table 2 evaluation
+schemas (DBLP, Mondial, Yelp).  For each dataset:
+
+1. **cold** — a full vectorized multi-table learn (the PR 3 engine), timed;
+2. **add-one-table** — the spec minus one (unreferenced) table is learned
+   into a fresh :class:`~repro.runtime.context_store.ContextStore`, then the
+   *full* spec is learned incrementally: the diff layer reuses every cached
+   table program and only the added table is synthesized, seeded from the
+   persisted ``SynthesisContext``;
+3. **add-one-column** — same loop, with one data column removed from a table
+   instead: the edited table re-synthesizes, every other table's program is
+   reused (referrers re-learn only their cheap key rules).
+
+Each warm plan is verified **byte-identical** to the cold plan (identical
+JSON bodies — programs, data columns and key rules), and each warm learn
+must be at least ``MIN_REQUIRED_SPEEDUP``× faster than cold.  Results land
+in ``BENCH_PR4.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py           # full record
+    PYTHONPATH=src python benchmarks/bench_incremental.py --smoke   # CI guard
+
+``--smoke`` runs the DBLP add-one-column loop only and asserts the
+incremental-reuse contract: the second learn must skip every unaffected
+table and reproduce the cold plan exactly.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import dblp, mondial, yelp  # noqa: E402
+from repro.migration.engine import MigrationSpec, TableExampleSpec  # noqa: E402
+from repro.relational.schema import DatabaseSchema, ForeignKey, TableSchema  # noqa: E402
+from repro.runtime import ContextStore, MigrationPlan, learn_incremental  # noqa: E402
+from repro.synthesis.config import SynthesisConfig  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+
+DATASETS = {"DBLP": dblp, "Mondial": mondial, "Yelp": yelp}
+MIN_REQUIRED_SPEEDUP = 3.0
+SMOKE_LIMIT_SECONDS = 20.0
+
+
+# --------------------------------------------------------------------------- #
+# Spec editing (single-edit generators, mirroring tests/test_incremental.py)
+# --------------------------------------------------------------------------- #
+
+
+def _copy_table(table, *, drop=None):
+    return TableSchema(
+        name=table.name,
+        columns=[c for c in table.columns if c.name != drop],
+        primary_key=table.primary_key,
+        foreign_keys=[
+            ForeignKey(fk.column, fk.target_table, fk.target_column)
+            for fk in table.foreign_keys
+        ],
+        natural_keys=table.natural_keys,
+    )
+
+
+def _rebuild(spec, tables, examples):
+    return MigrationSpec(
+        schema=DatabaseSchema(name=spec.schema.name, tables=tables),
+        example_tree=spec.example_tree,
+        table_examples=[
+            TableExampleSpec(table=t.name, rows=[tuple(r) for r in examples[t.name]])
+            for t in tables
+        ],
+    )
+
+
+def _examples_of(spec):
+    return {e.table: [tuple(r) for r in e.rows] for e in spec.table_examples}
+
+
+def drop_table(spec, victim):
+    tables = [_copy_table(t) for t in spec.schema.tables if t.name != victim]
+    return _rebuild(spec, tables, _examples_of(spec))
+
+
+def drop_column(spec, table_name, column):
+    examples = _examples_of(spec)
+    tables = []
+    for t in spec.schema.tables:
+        if t.name != table_name:
+            tables.append(_copy_table(t))
+            continue
+        index = t.column_names.index(column)
+        tables.append(_copy_table(t, drop=column))
+        examples[table_name] = [
+            tuple(v for i, v in enumerate(row) if i != index)
+            for row in examples[table_name]
+        ]
+    return _rebuild(spec, tables, examples)
+
+
+def pick_removable_table(spec):
+    """The costliest-looking table nothing references (last in topo order)."""
+    referenced = {fk.target_table for t in spec.schema.tables for fk in t.foreign_keys}
+    removable = [t.name for t in spec.schema.topological_order() if t.name not in referenced]
+    return removable[-1]
+
+
+def pick_droppable_column(spec):
+    """A (table, data column) pair whose removal keeps the schema valid."""
+    referenced = {
+        (fk.target_table, fk.target_column)
+        for t in spec.schema.tables
+        for fk in t.foreign_keys
+    }
+    for t in spec.schema.topological_order():
+        fk_columns = {fk.column for fk in t.foreign_keys}
+        data = t.data_columns()
+        if len(data) < 2:
+            continue
+        for c in reversed(data):
+            if c == t.primary_key or c in fk_columns or (t.name, c) in referenced:
+                continue
+            return t.name, c
+    raise SystemExit("no droppable column found")
+
+
+def plan_body(plan):
+    """The plan minus provenance metadata — the byte-identity comparand."""
+    return json.dumps(
+        {k: v for k, v in plan.to_json().items() if k != "metadata"}, sort_keys=True
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Measurement
+# --------------------------------------------------------------------------- #
+
+
+def _warm_learn(full_spec, base_spec, config):
+    """Prime a fresh store with the base spec, then time the edited learn."""
+    directory = tempfile.mkdtemp(prefix="repro-bench-ctx-")
+    try:
+        store = ContextStore(directory)
+        learn_incremental(base_spec, store, config=config)
+        start = time.perf_counter()
+        plan, report = learn_incremental(full_spec, store, config=config)
+        return plan, report, time.perf_counter() - start
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _bench_dataset(name, module):
+    config = SynthesisConfig.for_migration()
+    spec = module.dataset().migration_spec()
+    print(f"{name}:")
+
+    start = time.perf_counter()
+    cold_plan = MigrationPlan.learn(spec)
+    cold_seconds = time.perf_counter() - start
+    body = plan_body(cold_plan)
+    print(f"  cold vectorized learn    {cold_seconds:>7.2f}s  ({len(cold_plan.tables)} tables)")
+
+    victim = pick_removable_table(spec)
+    plan, report, table_seconds = _warm_learn(spec, drop_table(spec, victim), config)
+    if report.tables_synthesized != [victim]:
+        raise SystemExit(
+            f"add-one-table FAILED for {name}: synthesized {report.tables_synthesized}, "
+            f"expected [{victim!r}]"
+        )
+    if plan_body(plan) != body:
+        raise SystemExit(f"add-one-table byte-identity FAILED for {name}")
+    table_speedup = cold_seconds / max(table_seconds, 1e-9)
+    print(
+        f"  warm +table ({victim})   {table_seconds:>7.3f}s  {table_speedup:>6.1f}x  "
+        f"byte-identical: yes"
+    )
+
+    edit_table, edit_column = pick_droppable_column(spec)
+    plan, report, column_seconds = _warm_learn(
+        spec, drop_column(spec, edit_table, edit_column), config
+    )
+    if report.tables_synthesized != [edit_table]:
+        raise SystemExit(
+            f"add-one-column FAILED for {name}: synthesized {report.tables_synthesized}, "
+            f"expected [{edit_table!r}]"
+        )
+    if plan_body(plan) != body:
+        raise SystemExit(f"add-one-column byte-identity FAILED for {name}")
+    column_speedup = cold_seconds / max(column_seconds, 1e-9)
+    print(
+        f"  warm +column ({edit_table}.{edit_column})  {column_seconds:>7.3f}s  "
+        f"{column_speedup:>6.1f}x  byte-identical: yes"
+    )
+
+    return {
+        "tables": len(cold_plan.tables),
+        "cold_seconds": round(cold_seconds, 3),
+        "add_one_table": {
+            "edit": victim,
+            "warm_seconds": round(table_seconds, 4),
+            "speedup": round(table_speedup, 2),
+            "byte_identical": True,
+        },
+        "add_one_column": {
+            "edit": f"{edit_table}.{edit_column}",
+            "warm_seconds": round(column_seconds, 4),
+            "speedup": round(column_speedup, 2),
+            "byte_identical": True,
+        },
+    }
+
+
+def _smoke():
+    config = SynthesisConfig.for_migration()
+    spec = dblp.dataset().migration_spec()
+    start = time.perf_counter()
+    cold_plan = MigrationPlan.learn(spec)
+    cold_seconds = time.perf_counter() - start
+    edit_table, edit_column = pick_droppable_column(spec)
+    plan, report, warm_seconds = _warm_learn(
+        spec, drop_column(spec, edit_table, edit_column), config
+    )
+    unaffected = sorted(set(spec.schema.table_names) - {edit_table})
+    print(
+        f"  DBLP one-column edit ({edit_table}.{edit_column}): "
+        f"cold {cold_seconds:.2f}s, warm {warm_seconds:.3f}s"
+    )
+    if report.tables_synthesized != [edit_table]:
+        print(
+            f"SMOKE FAIL: warm learn re-synthesized {report.tables_synthesized}; "
+            f"only {edit_table!r} should run"
+        )
+        return 1
+    if sorted(report.tables_reused) != unaffected:
+        print(f"SMOKE FAIL: unaffected tables not reused: {report.tables_reused}")
+        return 1
+    if plan_body(plan) != plan_body(cold_plan):
+        print("SMOKE FAIL: incremental plan differs from cold plan")
+        return 1
+    if cold_seconds + warm_seconds >= SMOKE_LIMIT_SECONDS:
+        print(f"SMOKE FAIL: loop took {cold_seconds + warm_seconds:.1f}s")
+        return 1
+    print(
+        f"smoke ok: {len(unaffected)} unaffected tables skipped, "
+        "plan byte-identical to cold learn"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI guard: DBLP one-column edit must skip unaffected tables and "
+        "reproduce the cold plan byte-for-byte",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _smoke()
+
+    payload = {
+        "benchmark": "incremental_synthesis",
+        "pr": 4,
+        "loop": "learn base spec → edit → incremental learn (ContextStore reuse) "
+        "vs cold vectorized learn of the edited spec",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": {},
+    }
+    for name, module in DATASETS.items():
+        payload["results"][name] = _bench_dataset(name, module)
+
+    worst = min(
+        result[edit]["speedup"]
+        for result in payload["results"].values()
+        for edit in ("add_one_table", "add_one_column")
+    )
+    payload["min_speedup"] = worst
+    with open(RECORD_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {RECORD_PATH} (worst warm speedup: {worst}x)")
+    if worst < MIN_REQUIRED_SPEEDUP:
+        print(f"FAIL: {worst}x is below the required {MIN_REQUIRED_SPEEDUP}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,16 @@ Usage::
 and Yelp plans with the vectorized engine, checks end-to-end synthesis
 against a fixed wall-clock budget, and cross-checks DBLP byte-identity
 against the seed learner (the one seed run cheap enough for CI).
+
+``--suite table1`` extends the coverage beyond the three Table 2 schemas: it
+runs the full 98-task StackOverflow-style suite (Table 1) through three
+engines per task — vectorized, *warm* (a second vectorized run seeded from
+the first run's serialized ``SynthesisContext``, the single-task analogue of
+``repro learn --incremental``), and the seed algorithms.  Warm runs must be
+identical to cold on every task; seed runs must be identical wherever they
+execute (tasks whose vectorized time exceeds ``--seed-budget`` seconds skip
+the seed engine, and the skip count is reported — no silent truncation).
+Results land in ``BENCH_TABLE1.json``.
 """
 
 import argparse
@@ -35,6 +45,7 @@ from repro.synthesis.config import SynthesisConfig  # noqa: E402
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+TABLE1_RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_TABLE1.json")
 
 DATASETS = {"DBLP": dblp, "Mondial": mondial, "Yelp": yelp}
 
@@ -111,6 +122,120 @@ def _smoke():
     return 0
 
 
+def _suite_table1(seed_budget):
+    """Run the 98 Table 1 tasks through vectorized / warm / seed engines."""
+    import statistics
+
+    from repro.benchmarks_suite import load_suite
+    from repro.synthesis import ExamplePair, SynthesisTask, Synthesizer
+    from repro.synthesis.config import DEFAULT_CONFIG
+    from repro.synthesis.serialize import context_dumps, context_loads
+
+    config = DEFAULT_CONFIG
+    seed_config = config.seed_variant()
+    tasks = load_suite()
+    print(f"table1 suite: {len(tasks)} tasks, seed budget {seed_budget}s/task")
+
+    def signature(result):
+        if not result.success or result.program is None:
+            return ("unsolved",)
+        return (pretty_program(result.program), program_cost(result.program))
+
+    records = []
+    mismatches = []
+    seed_skipped = 0
+    for task in tasks:
+        synthesis_task = SynthesisTask(
+            examples=[ExamplePair(task.tree, [tuple(r) for r in task.rows])],
+            name=task.name,
+        )
+        cold_synthesizer = Synthesizer(config)
+        start = time.perf_counter()
+        cold = cold_synthesizer.synthesize(synthesis_task)
+        cold_seconds = time.perf_counter() - start
+
+        # Warm: serialize the cold run's context, rehydrate, re-synthesize —
+        # the single-task analogue of a --incremental re-learn.
+        payload = context_dumps(cold_synthesizer.context, indent=0)
+        start = time.perf_counter()
+        warm_context = context_loads(payload, [task.tree])
+        warm = Synthesizer(config, context=warm_context).synthesize(synthesis_task)
+        warm_seconds = time.perf_counter() - start
+        if signature(warm) != signature(cold):
+            mismatches.append(f"{task.name}: warm != cold")
+
+        seed_seconds = None
+        if cold_seconds <= seed_budget:
+            start = time.perf_counter()
+            seed = Synthesizer(seed_config).synthesize(synthesis_task)
+            seed_seconds = time.perf_counter() - start
+            if signature(seed) != signature(cold):
+                mismatches.append(f"{task.name}: seed != vectorized")
+        else:
+            seed_skipped += 1
+
+        records.append(
+            {
+                "task": task.name,
+                "format": task.format,
+                "columns": task.num_columns,
+                "solved": cold.success,
+                "vectorized_seconds": round(cold_seconds, 4),
+                "warm_seconds": round(warm_seconds, 4),
+                "seed_seconds": None if seed_seconds is None else round(seed_seconds, 4),
+            }
+        )
+
+    solved = sum(1 for r in records if r["solved"])
+    seed_pairs = [
+        (r["seed_seconds"], r["vectorized_seconds"])
+        for r in records
+        if r["seed_seconds"] is not None
+    ]
+    warm_ratio = statistics.median(
+        r["warm_seconds"] / max(r["vectorized_seconds"], 1e-9) for r in records
+    )
+    summary = {
+        "tasks": len(records),
+        "solved": solved,
+        "vectorized_total_seconds": round(sum(r["vectorized_seconds"] for r in records), 2),
+        "warm_total_seconds": round(sum(r["warm_seconds"] for r in records), 2),
+        "median_warm_over_cold": round(warm_ratio, 3),
+        "seed_tasks_run": len(seed_pairs),
+        "seed_tasks_skipped_over_budget": seed_skipped,
+        "seed_total_seconds": round(sum(s for s, _ in seed_pairs), 2),
+        "seed_median_speedup": round(
+            statistics.median(s / max(v, 1e-9) for s, v in seed_pairs), 2
+        )
+        if seed_pairs
+        else None,
+        "mismatches": mismatches,
+    }
+    payload = {
+        "benchmark": "synthesis_table1_suite",
+        "engines": ["vectorized", "warm (rehydrated context)", "seed"],
+        "seed_budget_seconds": seed_budget,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "summary": summary,
+        "tasks": records,
+    }
+    with open(TABLE1_RECORD_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"  solved {solved}/{len(records)}; vectorized "
+        f"{summary['vectorized_total_seconds']}s, warm {summary['warm_total_seconds']}s "
+        f"(median warm/cold {summary['median_warm_over_cold']}), seed on "
+        f"{len(seed_pairs)} tasks ({seed_skipped} over budget), "
+        f"median seed speedup {summary['seed_median_speedup']}x"
+    )
+    print(f"wrote {TABLE1_RECORD_PATH}")
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} engine mismatches: {mismatches[:5]}")
+        return 1
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -119,8 +244,23 @@ def main(argv=None):
         help=f"CI guard: vectorized synthesis under {SMOKE_LIMIT_SECONDS:.0f}s, "
         "DBLP programs byte-identical to the seed learner",
     )
+    parser.add_argument(
+        "--suite",
+        choices=["table1"],
+        help="run the 98-task Table 1 suite (vectorized vs warm-context vs seed) "
+        "instead of the Table 2 schemas",
+    )
+    parser.add_argument(
+        "--seed-budget",
+        type=float,
+        default=2.0,
+        help="with --suite: run the seed engine only on tasks whose vectorized "
+        "time is at most this many seconds (skips are reported; default 2.0)",
+    )
     args = parser.parse_args(argv)
 
+    if args.suite == "table1":
+        return _suite_table1(args.seed_budget)
     if args.smoke:
         return _smoke()
 

@@ -245,6 +245,38 @@ def _constant_from_json(payload: Json) -> Scalar:
     return payload
 
 
+def scalar_to_json(value: Scalar) -> Json:
+    """Shape-preserving scalar encoding (public twin of the constant codec).
+
+    Booleans are ints in Python and ``json`` would happily collapse ``True``
+    vs ``1`` vs ``1.0`` distinctions on the reader side; the tagged encoding
+    keeps every scalar shape bit-for-bit.  Used wherever artifacts carry raw
+    document values — predicate constants here, synthesis-context value
+    classes and column caches in :mod:`repro.synthesis.serialize`.
+
+    Examples
+    --------
+    >>> scalar_from_json(scalar_to_json(True)), scalar_from_json(scalar_to_json(1))
+    (True, 1)
+    """
+    return _constant_to_json(value)
+
+
+def scalar_from_json(payload: Json) -> Scalar:
+    """Inverse of :func:`scalar_to_json`."""
+    return _constant_from_json(payload)
+
+
+def op_to_json(op: Op) -> str:
+    """The stable wire symbol of a comparison operator."""
+    return op.value
+
+
+def op_from_json(symbol: str) -> Op:
+    """Inverse of :func:`op_to_json`; raises on unknown symbols."""
+    return _op_from_json(symbol)
+
+
 def _op_from_json(symbol: str) -> Op:
     for op in Op:
         if op.value == symbol:

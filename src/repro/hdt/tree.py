@@ -10,7 +10,7 @@ the "#Elements" column of Table 1 in the paper).
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .node import Node, Scalar
 
@@ -120,6 +120,7 @@ class HDT:
         self.root = root
         self._uid_index: Optional[Dict[int, Node]] = None
         self._tag_index: Optional[TagIndex] = None
+        self._fingerprint: Optional[str] = None
 
     # --------------------------------------------------------------- queries
     def nodes(self) -> Iterator[Node]:
@@ -188,6 +189,53 @@ class HDT:
                 out.append(node.data)
         return out
 
+    def fingerprint_items(self) -> Iterator[str]:
+        """A canonical line-per-node rendering of the tree (preorder, identity-free).
+
+        Two trees yield the same item stream iff they are structurally
+        identical (same tags, positions, depths and data, in document order)
+        — node uids never participate, so the stream is stable across
+        processes and re-parses.  Depth is part of each line: preorder alone
+        cannot distinguish a child from a following sibling, and two
+        differently-nested documents must not collide (they can synthesize to
+        different programs).  The item order matches :meth:`nodes`, so item
+        ``i`` describes the i-th preorder node.
+        """
+        stack: List[Tuple[Node, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            data = node.data
+            shape = type(data).__name__ if data is not None else "none"
+            yield f"{depth}\x00{node.tag}\x00{node.pos}\x00{shape}\x00{data!r}"
+            stack.extend((child, depth + 1) for child in reversed(node.children))
+
+    def content_fingerprint(self) -> str:
+        """A stable hex digest of the tree's content (see :meth:`fingerprint_items`).
+
+        Used as the content address of every on-disk artifact derived from a
+        document: the runtime's spec-hash plan cache and the incremental
+        synthesis :class:`~repro.runtime.context_store.ContextStore` both key
+        their entries by it.  Cached like the other whole-tree indexes (one
+        incremental learn consults it several times); call
+        :meth:`invalidate_indexes` after mutating the tree in place.
+
+        Examples
+        --------
+        >>> a = build_tree({"k": 1})
+        >>> b = build_tree({"k": 1})
+        >>> a.content_fingerprint() == b.content_fingerprint()
+        True
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for item in self.fingerprint_items():
+                digest.update(item.encode("utf-8"))
+                digest.update(b"\n")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def node_by_uid(self, uid: int) -> Node:
         """Look up a node by its unique id (used by the migration engine)."""
         if self._uid_index is None:
@@ -208,6 +256,7 @@ class HDT:
         """Drop cached indexes after mutating the tree in place."""
         self._uid_index = None
         self._tag_index = None
+        self._fingerprint = None
 
     # ---------------------------------------------------------------- pickling
     def __getstate__(self):
@@ -222,6 +271,7 @@ class HDT:
         self.root = state["root"]
         self._uid_index = None
         self._tag_index = None
+        self._fingerprint = None
 
     def find_all(self, tag: str) -> List[Node]:
         """All nodes (including the root) with the given tag, document order."""

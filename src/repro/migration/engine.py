@@ -40,7 +40,7 @@ from ..optimizer.optimize import (
 )
 from ..relational.database import Database
 from ..relational.schema import DatabaseSchema, TableSchema
-from ..synthesis.config import DEFAULT_CONFIG, SynthesisConfig
+from ..synthesis.config import SynthesisConfig
 from ..synthesis.predicate_learner import rows_equal
 from ..synthesis.synthesizer import ExamplePair, SynthesisResult, SynthesisTask, Synthesizer
 from .keys import ForeignKeyRule, key_of, learn_link_rules
@@ -288,11 +288,26 @@ def _table_synthesis_task(
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_synthesis_worker(tree_bytes: bytes, config: SynthesisConfig) -> None:
+def _init_synthesis_worker(
+    tree_bytes: bytes, config: SynthesisConfig, context_payload: Optional[dict] = None
+) -> None:
+    """Build the worker's tree and synthesizer, optionally seeded from a
+    persisted context payload (incremental mode): the worker rehydrates the
+    parent's :class:`~repro.synthesis.context.SynthesisContext` artifacts
+    against its own unpickled tree, so cached column results, χi sets and
+    universes are shared even across the process boundary.  Worker-*learned*
+    entries are not shipped back (the payloads would dwarf the results);
+    serial runs are what enrich the persisted context over time."""
     import pickle
 
-    _WORKER_STATE["tree"] = pickle.loads(tree_bytes)
-    _WORKER_STATE["synthesizer"] = Synthesizer(config)
+    tree = pickle.loads(tree_bytes)
+    context = None
+    if context_payload is not None:
+        from ..synthesis.serialize import deserialize_context
+
+        context = deserialize_context(context_payload, [tree])
+    _WORKER_STATE["tree"] = tree
+    _WORKER_STATE["synthesizer"] = Synthesizer(config, context=context)
 
 
 def _synthesize_table_worker(
@@ -329,34 +344,74 @@ class MigrationEngine:
     count).  Key-rule learning runs in the parent afterwards — it aligns
     example rows against the parent's tree — and the learned programs are
     identical to a serial run.
+
+    ``context`` optionally seeds the engine's synthesizer with a shared (or
+    rehydrated) :class:`~repro.synthesis.context.SynthesisContext`; worker
+    processes are seeded from the same caches.  Together with the ``reuse``
+    arguments of :meth:`learn` this is the substrate of incremental
+    learning — see :func:`repro.runtime.incremental.learn_incremental`.
     """
 
     def __init__(
-        self, config: Optional[SynthesisConfig] = None, *, jobs: int = 1
+        self,
+        config: Optional[SynthesisConfig] = None,
+        *,
+        jobs: int = 1,
+        context=None,
     ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0 (got {jobs})")
         self.config = config if config is not None else SynthesisConfig.for_migration()
         self.jobs = jobs
-        self.synthesizer = Synthesizer(self.config)
+        self.synthesizer = Synthesizer(self.config, context=context)
 
     # ------------------------------------------------------------ synthesis
-    def learn(self, spec: MigrationSpec) -> Tuple[Dict[str, TableProgram], Dict[str, float]]:
-        """Learn a program and key rules for every table of the target schema."""
-        results = self._synthesis_results(spec)
+    def learn(
+        self,
+        spec: MigrationSpec,
+        *,
+        reuse: Optional[Dict[str, object]] = None,
+        reuse_keys: Optional[set] = None,
+    ) -> Tuple[Dict[str, TableProgram], Dict[str, float]]:
+        """Learn a program and key rules for every table of the target schema.
+
+        ``reuse`` maps table names to cached executable artifacts (anything
+        with ``program``, ``data_columns`` and ``foreign_key_rules``, e.g. a
+        :class:`~repro.runtime.plan.TablePlan`) whose programs are known to be
+        re-learnable bit-for-bit — synthesis is skipped for them.  Tables also
+        listed in ``reuse_keys`` keep their cached foreign-key rules; the rest
+        re-run the (cheap) key-learning step against the example tree, which
+        is required whenever a referenced table's program changed.  The
+        example-row → node-tuple alignments are always recomputed so that
+        fresh tables can learn foreign keys *into* reused ones.
+        """
+        reuse = reuse or {}
+        reuse_keys = reuse_keys or set()
+        results = self._synthesis_results(spec, skip=set(reuse))
         programs: Dict[str, TableProgram] = {}
         per_table_time: Dict[str, float] = {}
         for table_schema in spec.schema.topological_order():
             start = time.perf_counter()
-            programs[table_schema.name] = self._learn_table(
-                spec, table_schema, programs, results.get(table_schema.name)
-            )
+            if table_schema.name in reuse:
+                programs[table_schema.name] = self._reuse_table(
+                    spec,
+                    table_schema,
+                    reuse[table_schema.name],
+                    table_schema.name in reuse_keys,
+                    programs,
+                )
+            else:
+                programs[table_schema.name] = self._learn_table(
+                    spec, table_schema, programs, results.get(table_schema.name)
+                )
             per_table_time[table_schema.name] = (
                 time.perf_counter() - start
             ) + results.get(table_schema.name, _NO_RESULT).synthesis_time
         return programs, per_table_time
 
-    def _synthesis_results(self, spec: MigrationSpec) -> Dict[str, SynthesisResult]:
+    def _synthesis_results(
+        self, spec: MigrationSpec, skip: Optional[set] = None
+    ) -> Dict[str, SynthesisResult]:
         """Phase 1: per-table program synthesis, serial or process-parallel."""
         jobs = self.jobs
         if jobs == 1:
@@ -365,7 +420,13 @@ class MigrationEngine:
         import pickle
         from concurrent.futures import ProcessPoolExecutor
 
-        tables = spec.schema.topological_order()
+        tables = [
+            table_schema
+            for table_schema in spec.schema.topological_order()
+            if not skip or table_schema.name not in skip
+        ]
+        if not tables:
+            return {}
         workers = jobs if jobs else os.cpu_count() or 1
         workers = min(workers, len(tables)) or 1
         payloads = [
@@ -373,15 +434,66 @@ class MigrationEngine:
             for table_schema in tables
         ]
         tree_bytes = pickle.dumps(spec.example_tree)
+        context_payload = None
+        context = self.synthesizer.context
+        if self.config.vectorized and context.trees():
+            from ..synthesis.serialize import serialize_context
+
+            context_payload = serialize_context(context)
         results: Dict[str, SynthesisResult] = {}
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_synthesis_worker,
-            initargs=(tree_bytes, self.config),
+            initargs=(tree_bytes, self.config, context_payload),
         ) as pool:
             for name, result in pool.map(_synthesize_table_worker, payloads):
                 results[name] = result
         return results
+
+    def _reuse_table(
+        self,
+        spec: MigrationSpec,
+        table_schema: TableSchema,
+        cached,
+        keys_reused: bool,
+        learned: Dict[str, TableProgram],
+    ) -> TableProgram:
+        """Rebuild a :class:`TableProgram` from a cached plan entry.
+
+        The program (the expensive artifact) is taken as-is; the example-row
+        alignment is recomputed against *this* process's example tree so node
+        identities line up for any key learning that still has to run —
+        either this table's own (when ``keys_reused`` is false) or that of a
+        fresh table referencing this one.
+        """
+        result = SynthesisResult(
+            program=cached.program,
+            success=True,
+            synthesis_time=0.0,
+            message="reused from cached plan",
+        )
+        table_program = TableProgram(
+            schema=table_schema,
+            program=cached.program,
+            synthesis=result,
+            data_columns=list(cached.data_columns),
+        )
+        if not table_schema.natural_keys:
+            example = spec.example_for(table_schema.name)
+            column_names = table_schema.column_names
+            data_indices = [
+                column_names.index(c) for c in table_program.data_columns
+            ]
+            table_program.label_to_nodes = self._match_example_rows(
+                spec, table_schema, example, cached.program, data_indices
+            )
+            if keys_reused:
+                table_program.foreign_key_rules = list(cached.foreign_key_rules)
+            else:
+                table_program.foreign_key_rules = self._learn_foreign_keys(
+                    spec, table_schema, example, table_program, learned
+                )
+        return table_program
 
     def _learn_table(
         self,

@@ -9,12 +9,34 @@ ROADMAP's north star asks for:
   (JSON-serializable schema + per-table programs + key rules);
 * :mod:`repro.runtime.plan_cache` — on-disk caching keyed by a spec
   fingerprint, so synthesis runs once per distinct spec;
+* :mod:`repro.runtime.context_store` — content-addressed persistence of
+  synthesis caches and spec snapshots, the substrate of incremental
+  learning;
+* :mod:`repro.runtime.spec_diff` — the diff layer deciding, per table of an
+  edited spec, whether the cached program and key rules are still valid;
+* :mod:`repro.runtime.incremental` — :func:`learn_incremental`: re-synthesize
+  only the tables a spec edit affected, byte-identical to a cold learn;
 * :mod:`repro.runtime.executor` — backend-pluggable whole-tree execution;
 * :mod:`repro.runtime.sqlite_backend` — loading straight into SQLite with
   native key enforcement;
 * :mod:`repro.runtime.streaming` — chunked, bounded-memory execution with
   cross-chunk key reconciliation and optional multiprocessing fan-out;
-* :mod:`repro.runtime.cli` — ``python -m repro learn|run|migrate``.
+* :mod:`repro.runtime.cli` — ``python -m repro learn|run|migrate``
+  (``--incremental``, ``--jobs``, ``--streaming``, ...).
+
+The full architecture is documented in ``docs/runtime.md``.
+
+Example — learn once, run many, then evolve the schema incrementally:
+
+>>> from repro.datasets import dblp
+>>> from repro.runtime import ContextStore, execute_plan, learn_incremental
+>>> bundle = dblp.dataset(scale=2)
+>>> store = ContextStore("/tmp/repro-ctx-doc")
+>>> plan, report = learn_incremental(bundle.migration_spec(), store)
+>>> report.tables_total
+9
+>>> execute_plan(plan, bundle.generate(2)).total_rows
+30
 """
 
 from .executor import (
@@ -27,8 +49,11 @@ from .executor import (
     execute_plan,
     stream_table_rows,
 )
+from .context_store import ContextStore, SpecSnapshot
+from .incremental import IncrementalReport, learn_incremental
 from .plan import MigrationPlan, TablePlan
 from .plan_cache import PlanCache, spec_fingerprint
+from .spec_diff import SpecDiff, TableChange, diff_specs, reusable_plans
 from .sqlite_backend import (
     SQLiteBackend,
     SQLiteBackendError,
@@ -57,6 +82,14 @@ __all__ = [
     "TablePlan",
     "PlanCache",
     "spec_fingerprint",
+    "ContextStore",
+    "SpecSnapshot",
+    "IncrementalReport",
+    "learn_incremental",
+    "SpecDiff",
+    "TableChange",
+    "diff_specs",
+    "reusable_plans",
     "SQLiteBackend",
     "SQLiteBackendError",
     "database_matches_sqlite",

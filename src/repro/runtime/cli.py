@@ -208,11 +208,14 @@ def _acquire_plan(args, spec: Spec, *, allow_learn: bool) -> Tuple[MigrationPlan
         jobs = spec.get_int("jobs", 1)
     if jobs < 0:
         raise CLIError(f"--jobs must be >= 0 (got {jobs})")
+    cache_dir = args.cache_dir or spec.get("cache_dir", DEFAULT_CACHE_DIR)
+    if args.incremental or spec.get("incremental"):
+        return _learn_incrementally(args, spec, migration_spec, jobs, cache_dir)
     if args.no_cache:
         plan = MigrationPlan.learn(migration_spec, jobs=jobs)
         plan.source_format = spec.format
         return plan, "synthesized (cache disabled)"
-    cache = PlanCache(args.cache_dir or spec.get("cache_dir", DEFAULT_CACHE_DIR))
+    cache = PlanCache(cache_dir)
     cached = cache.load(migration_spec)
     if cached is not None:
         return cached, f"cache hit ({cache.path_for(cached.metadata.get('spec_fingerprint', '?'))})"
@@ -220,6 +223,38 @@ def _acquire_plan(args, spec: Spec, *, allow_learn: bool) -> Tuple[MigrationPlan
     plan.source_format = spec.format
     path = cache.store(migration_spec, plan)
     return plan, f"synthesized and cached ({path})"
+
+
+def _learn_incrementally(
+    args, spec: Spec, migration_spec, jobs: int, cache_dir: str
+) -> Tuple[MigrationPlan, str]:
+    """The ``--incremental`` path: diff against the context store and reuse.
+
+    The context store replaces the all-or-nothing plan cache here — an exact
+    re-learn reuses every table (zero synthesis), an edited spec reuses the
+    unaffected ones.  The per-table reuse report is printed line by line so
+    the cache hits are visible.
+    """
+    from .context_store import ContextStore
+    from .incremental import learn_incremental
+
+    directory = (
+        getattr(args, "context_cache", None)
+        or spec.get("context_cache")
+        or os.path.join(cache_dir, "context")
+    )
+    store = ContextStore(directory)
+    plan, report = learn_incremental(migration_spec, store, jobs=jobs)
+    plan.source_format = spec.format
+    print(report.describe())
+    synthesized = len(report.tables_synthesized)
+    if synthesized == 0:
+        provenance = "incremental (everything reused)"
+    else:
+        provenance = (
+            f"incremental ({synthesized}/{report.tables_total} tables synthesized)"
+        )
+    return plan, f"{provenance}, store: {directory}"
 
 
 def _make_backend(args, spec: Spec) -> Tuple[ExecutionBackend, Optional[str]]:
@@ -336,7 +371,12 @@ def _cmd_migrate(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Learn-once/run-many migration of hierarchical data to relational tables.",
+        description="Learn-once/run-many migration of hierarchical data to "
+        "relational tables (Mitra, VLDB 2018). A JSON spec file names the "
+        "target schema, an example document and per-table example rows; "
+        "`learn` synthesizes a durable migration plan from them, `run` "
+        "executes a plan against full datasets, `migrate` does both.",
+        epilog="Spec-file format, incremental learning and recipes: docs/cli.md",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -349,6 +389,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs",
             type=int,
             help="parallel per-table synthesis processes (0 = CPU count, default 1)",
+        )
+        sub.add_argument(
+            "--incremental",
+            action="store_true",
+            help="reuse persisted synthesis state across spec edits: diff the "
+            "spec against the context store and re-synthesize only the "
+            "affected tables",
+        )
+        sub.add_argument(
+            "--context-cache",
+            help="context store directory for --incremental "
+            "(default: <cache-dir>/context)",
         )
 
     def add_execution(sub: argparse.ArgumentParser) -> None:
@@ -364,7 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, help="multiprocessing fan-out across chunks (streaming)"
         )
 
-    learn = subparsers.add_parser("learn", help="synthesize and save a migration plan")
+    learn = subparsers.add_parser(
+        "learn",
+        help="synthesize and save a migration plan "
+        "(--incremental reuses state across spec edits)",
+    )
     add_common(learn)
     learn.add_argument("--plan-out", help="write the learned plan to this file")
     learn.set_defaults(handler=_cmd_learn)

@@ -268,6 +268,16 @@ def execute_plan(
     Returns an :class:`ExecutionReport`; the populated storage is reachable
     through ``report.backend`` (e.g. ``report.backend.database`` for the
     memory backend).
+
+    Examples
+    --------
+    >>> from repro.datasets import dblp
+    >>> from repro.runtime import MigrationPlan, execute_plan
+    >>> bundle = dblp.dataset(scale=2)
+    >>> plan = MigrationPlan.learn(bundle.migration_spec())
+    >>> report = execute_plan(plan, bundle.generate(2))
+    >>> report.per_table_rows["journal"]
+    1
     """
     backend = backend if backend is not None else MemoryBackend()
     start = time.perf_counter()

@@ -17,10 +17,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 from ..dsl.serialize import schema_to_json
-from ..hdt.node import Node
 from ..hdt.tree import HDT
 from ..migration.engine import MigrationSpec
 from .plan import MigrationPlan
@@ -31,17 +30,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 def tree_fingerprint_items(tree: HDT) -> Iterator[str]:
     """A canonical line-per-node rendering of a tree (preorder, identity-free).
 
-    Depth is part of each line: preorder alone cannot distinguish a child
-    from a following sibling, and two differently-nested documents must not
-    collide (they can synthesize to different programs).
+    Thin delegate kept for backwards compatibility — the canonical
+    implementation lives on :meth:`repro.hdt.tree.HDT.fingerprint_items` so
+    the synthesis layer can address trees without importing the runtime.
     """
-    stack: List[tuple] = [(tree.root, 0)]
-    while stack:
-        node, depth = stack.pop()
-        data = node.data
-        shape = type(data).__name__ if data is not None else "none"
-        yield f"{depth}\x00{node.tag}\x00{node.pos}\x00{shape}\x00{data!r}"
-        stack.extend((child, depth + 1) for child in reversed(node.children))
+    return tree.fingerprint_items()
 
 
 def spec_fingerprint(spec: MigrationSpec) -> str:
@@ -60,7 +53,18 @@ def spec_fingerprint(spec: MigrationSpec) -> str:
 
 
 class PlanCache:
-    """A directory of ``<fingerprint>.plan.json`` files."""
+    """A directory of ``<fingerprint>.plan.json`` files.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.datasets import dblp
+    >>> spec = dblp.dataset(scale=2).migration_spec()
+    >>> cache = PlanCache(tempfile.mkdtemp())
+    >>> plan = cache.learn_or_load(spec)       # cold: synthesizes and stores
+    >>> cache.load(spec) is not None           # warm: served from disk
+    True
+    """
 
     def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
         self.directory = directory
@@ -100,11 +104,19 @@ class PlanCache:
         os.replace(temporary, path)
         return path
 
-    def learn_or_load(self, spec: MigrationSpec, engine=None) -> MigrationPlan:
-        """Return the cached plan, or synthesize, cache and return a fresh one."""
+    def learn_or_load(
+        self, spec: MigrationSpec, engine=None, *, context_store=None
+    ) -> MigrationPlan:
+        """Return the cached plan, or synthesize, cache and return a fresh one.
+
+        With a :class:`~repro.runtime.context_store.ContextStore`, the miss
+        path learns *incrementally* — a near-miss (edited spec over the same
+        example document) re-synthesizes only the affected tables and the
+        result is cached under the new fingerprint as usual.
+        """
         cached = self.load(spec)
         if cached is not None:
             return cached
-        plan = MigrationPlan.learn(spec, engine)
+        plan = MigrationPlan.learn(spec, engine, context_store=context_store)
         self.store(spec, plan)
         return plan

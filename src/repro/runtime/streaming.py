@@ -317,6 +317,17 @@ def stream_execute(
     ``workers > 1`` fans chunk execution out to a ``multiprocessing`` pool;
     merging stays in the parent and processes results in chunk order, so the
     output is identical to the serial path.
+
+    Examples
+    --------
+    >>> from repro.datasets import dblp
+    >>> from repro.runtime import MigrationPlan, iter_tree_chunks, stream_execute
+    >>> bundle = dblp.dataset(scale=2)
+    >>> plan = MigrationPlan.learn(bundle.migration_spec())
+    >>> chunks = iter_tree_chunks(bundle.generate(2), chunk_size=1)
+    >>> report = stream_execute(plan, chunks)
+    >>> report.total_rows, report.chunks > 1
+    (30, True)
     """
     backend = backend if backend is not None else MemoryBackend()
     start = time.perf_counter()

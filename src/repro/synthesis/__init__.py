@@ -24,6 +24,15 @@ from .predicate_learner import (
 from .predicate_matrix import build_predicate_masks, distinguishing_pairs_mask
 from .predicate_universe import construct_predicate_universe, valid_node_extractors
 from .qm import minimize, minimize_bits, prime_implicants, prime_implicants_bits
+from .serialize import (
+    config_fingerprint,
+    config_from_json,
+    config_to_json,
+    context_dumps,
+    context_loads,
+    deserialize_context,
+    serialize_context,
+)
 from .set_cover import (
     CoverError,
     branch_and_bound_cover,
@@ -68,6 +77,13 @@ __all__ = [
     "distinguishing_pairs_mask",
     "construct_predicate_universe",
     "valid_node_extractors",
+    "config_fingerprint",
+    "config_from_json",
+    "config_to_json",
+    "context_dumps",
+    "context_loads",
+    "deserialize_context",
+    "serialize_context",
     "minimize",
     "minimize_bits",
     "prime_implicants",

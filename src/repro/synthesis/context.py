@@ -91,6 +91,30 @@ class _TreeFacts:
             self._constants = self.tree.constants()
         return self._constants
 
+    # ------------------------------------------------- serialization support
+    # The lazy fields above are pure functions of the tree, so a persisted
+    # context (repro.synthesis.serialize) may pre-fill them instead of
+    # recomputing.  ``has_*``/``value_classes`` report what has actually been
+    # computed without triggering the computation.
+
+    def has_alphabet(self) -> bool:
+        return self._alphabet is not None
+
+    def has_constants(self) -> bool:
+        return self._constants is not None
+
+    def value_classes(self) -> Optional[Dict[Scalar, FrozenSet[int]]]:
+        return self._value_uids
+
+    def preload_alphabet(self, alphabet: List[Tuple]) -> None:
+        self._alphabet = alphabet
+
+    def preload_constants(self, constants: List[Scalar]) -> None:
+        self._constants = constants
+
+    def preload_value_classes(self, value_uids: Dict[Scalar, FrozenSet[int]]) -> None:
+        self._value_uids = value_uids
+
 
 class SynthesisContext:
     """Cross-column, cross-table caches for one synthesis configuration."""
@@ -115,6 +139,24 @@ class SynthesisContext:
                 "a SynthesisContext cannot be shared between different "
                 "synthesis configurations"
             )
+
+    @property
+    def config(self):
+        """The configuration the context is bound to, or ``None`` if unbound."""
+        return self._config_token[1] if self._config_token is not None else None
+
+    def trees(self) -> List[HDT]:
+        """Every tree the context has seen, in first-seen order."""
+        return [facts.tree for facts in self._facts.values()]
+
+    def stats(self) -> Dict[str, int]:
+        """Cache sizes, reported by the CLI's incremental cache-hit summary."""
+        return {
+            "trees": len(self._facts),
+            "column_results": len(self.column_results),
+            "chi": len(self.chi),
+            "universes": len(self.universes),
+        }
 
     def facts(self, tree: HDT) -> _TreeFacts:
         facts = self._facts.get(id(tree))

@@ -1,0 +1,386 @@
+"""Lossless JSON serialization of :class:`SynthesisContext` artifacts.
+
+The plan cache makes "learn once, run many" real for *identical* specs; this
+module is the first half of making it real for *edited* specs.  Everything a
+:class:`~repro.synthesis.context.SynthesisContext` has learned that is a pure
+function of (example trees, configuration) gets a stable wire format in the
+``dsl/serialize.py`` idiom, so a later session — or a ``--jobs`` worker
+process — can be seeded with the caches instead of recomputing them:
+
+* per-tree facts — the instantiated operator alphabet, the document
+  constants, and the ``value → node`` equality classes used for DFA
+  acceptance;
+* learned column-extractor lists keyed by ``(trees, column values)``;
+* valid node-extractor sets χi keyed by ``(trees, column extractor)``;
+* whole predicate universes keyed by ``(trees, candidate columns)``.
+
+Node uids are process-local counters, so they never appear on the wire:
+nodes are addressed by their **preorder position**, and trees by their
+:meth:`~repro.hdt.tree.HDT.content_fingerprint`.  Deserialization re-keys
+every artifact against the session's own tree objects — a tree whose
+fingerprint does not match any provided tree is dropped entirely (its cache
+entries would be meaningless), which also makes loading tolerant of stale
+store entries.
+
+What is deliberately *not* serialized: the :class:`TreeAutomaton` (its
+interned states fill in demand order, so persisting them could change how the
+``max_dfa_states`` budget binds), the ``(ϕ, node) → target`` memo (keyed by
+raw uids and cheap to rebuild for the tables actually re-synthesized), and
+the per-tree evaluation caches (derived data).  Because every serialized
+cache is a deterministic function of its key, a rehydrated context produces
+**byte-identical programs** to a cold run — the property enforced by
+``tests/test_incremental.py``.
+
+The round-trip property — rehydrating a payload against the same trees
+reproduces every cache dictionary exactly — is enforced by
+``tests/test_context_serialize.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as _dataclass_fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.serialize import (
+    Json,
+    SerializationError,
+    column_from_json,
+    column_to_json,
+    node_extractor_from_json,
+    node_extractor_to_json,
+    op_from_json,
+    op_to_json,
+    predicate_from_json,
+    predicate_to_json,
+    scalar_from_json,
+    scalar_to_json,
+)
+from ..hdt.node import Node
+from ..hdt.tree import HDT
+from .config import SynthesisConfig
+from .context import SynthesisContext, _is_nan
+
+CONTEXT_FORMAT_VERSION = 1
+"""Bumped whenever the context wire format changes incompatibly."""
+
+_OP_FIELDS = {"constant_ops", "node_pair_ops"}
+
+
+# --------------------------------------------------------------------------- #
+# Synthesis configuration
+# --------------------------------------------------------------------------- #
+
+
+def config_to_json(config: SynthesisConfig) -> Json:
+    """Serialize a :class:`SynthesisConfig` (operator sets become sorted lists)."""
+    payload: Dict[str, Json] = {"kind": "synthesis_config"}
+    for field in _dataclass_fields(SynthesisConfig):
+        value = getattr(config, field.name)
+        if field.name in _OP_FIELDS:
+            value = sorted(op_to_json(op) for op in value)
+        payload[field.name] = value
+    return payload
+
+
+def config_from_json(payload: Json) -> SynthesisConfig:
+    """Inverse of :func:`config_to_json`; unknown fields are ignored, missing
+    fields take their defaults (so old payloads keep loading)."""
+    if not isinstance(payload, dict) or payload.get("kind") != "synthesis_config":
+        raise SerializationError("payload is not a serialized synthesis config")
+    kwargs: Dict[str, object] = {}
+    for field in _dataclass_fields(SynthesisConfig):
+        if field.name not in payload:
+            continue
+        value = payload[field.name]
+        if field.name in _OP_FIELDS:
+            value = frozenset(op_from_json(symbol) for symbol in value)
+        kwargs[field.name] = value
+    return SynthesisConfig(**kwargs)  # type: ignore[arg-type]
+
+
+def config_fingerprint(config: SynthesisConfig) -> str:
+    """A stable hex digest identifying a configuration's search bounds.
+
+    Context artifacts depend on the bounds (a tighter cap learns shorter
+    lists), so the :class:`~repro.runtime.context_store.ContextStore` keys
+    every entry by this digest alongside the tree fingerprints.
+    """
+    canonical = json.dumps(config_to_json(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Alphabet symbols
+# --------------------------------------------------------------------------- #
+
+
+def _symbol_to_json(symbol: Tuple) -> Json:
+    return list(symbol)
+
+
+def _symbol_from_json(payload: Json) -> Tuple:
+    if not isinstance(payload, list) or not payload:
+        raise SerializationError(f"malformed alphabet symbol payload: {payload!r}")
+    return tuple(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Context serialization
+# --------------------------------------------------------------------------- #
+
+
+def _has_nan(values) -> bool:
+    return any(_is_nan(value) for value in values)
+
+
+class _Pool:
+    """Deduplicating side table for AST payloads.
+
+    The per-universe predicate lists overlap heavily (χi pieces recur across
+    candidate column sets), so each distinct AST is serialized once into a
+    shared pool and referenced by index — an order-of-magnitude saving in
+    both payload size and (de)serialization time, which is what keeps warm
+    incremental learns cheaper than the synthesis they replace.
+    """
+
+    def __init__(self, to_json) -> None:
+        self._to_json = to_json
+        self._index: Dict[object, int] = {}
+        self.items: List[Json] = []
+
+    def ref(self, obj) -> int:
+        position = self._index.get(obj)
+        if position is None:
+            position = len(self.items)
+            self._index[obj] = position
+            self.items.append(self._to_json(obj))
+        return position
+
+
+def serialize_context(context: SynthesisContext) -> Json:
+    """Serialize every persistable artifact of a context.
+
+    Cache keys that embed tree identities are rewritten as indices into the
+    payload's ``trees`` array; node uids are rewritten as preorder positions;
+    column extractors, node extractors and predicates are interned into
+    shared pools and referenced by index.  Entries whose keys contain NaN are
+    skipped — NaN equals nothing under ``compare_values``, so such entries
+    can never be looked up again anyway.
+    """
+    trees = context.trees()
+    tree_index = {id(tree): position for position, tree in enumerate(trees)}
+    preorder: List[Dict[int, int]] = [
+        {node.uid: position for position, node in enumerate(tree.nodes())}
+        for tree in trees
+    ]
+
+    def trees_ref(trees_key: Tuple[int, ...]) -> Optional[List[int]]:
+        refs = []
+        for tree_id in trees_key:
+            position = tree_index.get(tree_id)
+            if position is None:  # pragma: no cover - keys always come from facts
+                return None
+            refs.append(position)
+        return refs
+
+    tree_payloads: List[Json] = []
+    for position, tree in enumerate(trees):
+        facts = context.facts(tree)
+        entry: Dict[str, Json] = {
+            "fingerprint": tree.content_fingerprint(),
+            "size": tree.size(),
+        }
+        # Lazy facts are serialized only once computed; omitted fields simply
+        # rehydrate lazily again.
+        if facts.has_alphabet():
+            entry["alphabet"] = [_symbol_to_json(s) for s in facts.alphabet]
+        if facts.has_constants():
+            entry["constants"] = [scalar_to_json(c) for c in facts.constants]
+        value_uids = facts.value_classes()
+        if value_uids is not None:
+            uid_to_pos = preorder[position]
+            entry["value_classes"] = [
+                [scalar_to_json(value), sorted(uid_to_pos[uid] for uid in uids)]
+                for value, uids in value_uids.items()
+            ]
+        tree_payloads.append(entry)
+
+    columns_pool = _Pool(column_to_json)
+    node_extractors_pool = _Pool(node_extractor_to_json)
+    predicates_pool = _Pool(predicate_to_json)
+
+    column_results: List[Json] = []
+    for (trees_key, values_key), extractors in context.column_results.items():
+        refs = trees_ref(trees_key)
+        if refs is None or any(_has_nan(example) for example in values_key):
+            continue
+        column_results.append(
+            {
+                "trees": refs,
+                "values": [
+                    [scalar_to_json(v) for v in example] for example in values_key
+                ],
+                "extractors": [columns_pool.ref(e) for e in extractors],
+            }
+        )
+
+    chi: List[Json] = []
+    for (trees_key, column), extractors in context.chi.items():
+        refs = trees_ref(trees_key)
+        if refs is None:
+            continue
+        chi.append(
+            {
+                "trees": refs,
+                "column": columns_pool.ref(column),
+                "extractors": [node_extractors_pool.ref(e) for e in extractors],
+            }
+        )
+
+    universes: List[Json] = []
+    for (trees_key, columns), predicates in context.universes.items():
+        refs = trees_ref(trees_key)
+        if refs is None:
+            continue
+        universes.append(
+            {
+                "trees": refs,
+                "columns": [columns_pool.ref(c) for c in columns],
+                "predicates": [predicates_pool.ref(p) for p in predicates],
+            }
+        )
+
+    payload: Dict[str, Json] = {
+        "kind": "synthesis_context",
+        "version": CONTEXT_FORMAT_VERSION,
+        "trees": tree_payloads,
+        "columns_pool": columns_pool.items,
+        "node_extractors_pool": node_extractors_pool.items,
+        "predicates_pool": predicates_pool.items,
+        "column_results": column_results,
+        "chi": chi,
+        "universes": universes,
+    }
+    if context.config is not None:
+        payload["config"] = config_to_json(context.config)
+    return payload
+
+
+def deserialize_context(
+    payload: Json,
+    trees: Sequence[HDT],
+    context: Optional[SynthesisContext] = None,
+) -> SynthesisContext:
+    """Rehydrate serialized artifacts against this session's tree objects.
+
+    ``trees`` are matched to the payload's trees by content fingerprint; the
+    artifacts of unmatched payload trees are dropped.  When ``context`` is
+    given, entries are merged into it without overwriting anything already
+    present (used to fold ``--jobs`` worker payloads back into the parent);
+    otherwise a fresh context is returned.
+    """
+    if not isinstance(payload, dict) or payload.get("kind") != "synthesis_context":
+        raise SerializationError("payload is not a serialized synthesis context")
+    version = payload.get("version", CONTEXT_FORMAT_VERSION)
+    if version > CONTEXT_FORMAT_VERSION:
+        raise SerializationError(
+            f"context format version {version} is newer than supported "
+            f"({CONTEXT_FORMAT_VERSION})"
+        )
+    if context is None:
+        context = SynthesisContext()
+
+    by_fingerprint = {tree.content_fingerprint(): tree for tree in trees}
+    matched: Dict[int, HDT] = {}
+    nodes_of: Dict[int, List[Node]] = {}
+    for position, entry in enumerate(payload.get("trees", [])):
+        tree = by_fingerprint.get(entry.get("fingerprint"))
+        if tree is None:
+            continue
+        preorder = list(tree.nodes())
+        if len(preorder) != entry.get("size", len(preorder)):
+            continue  # defensive: fingerprint match implies equal size
+        matched[position] = tree
+        nodes_of[position] = preorder
+        facts = context.facts(tree)
+        if "alphabet" in entry and not facts.has_alphabet():
+            facts.preload_alphabet(
+                [_symbol_from_json(s) for s in entry["alphabet"]]
+            )
+        if "constants" in entry and not facts.has_constants():
+            facts.preload_constants(
+                [scalar_from_json(c) for c in entry["constants"]]
+            )
+        if "value_classes" in entry and facts.value_classes() is None:
+            facts.preload_value_classes(
+                {
+                    scalar_from_json(value): frozenset(
+                        preorder[pos].uid for pos in positions
+                    )
+                    for value, positions in entry["value_classes"]
+                }
+            )
+
+    def trees_key(refs: List[int]) -> Optional[Tuple[int, ...]]:
+        key = []
+        for ref in refs:
+            tree = matched.get(ref)
+            if tree is None:
+                return None
+            key.append(id(tree))
+        return tuple(key)
+
+    # Decode each pooled AST exactly once; every reference shares the object
+    # (the AST dataclasses are frozen, so sharing is safe).
+    columns_pool = [column_from_json(c) for c in payload.get("columns_pool", [])]
+    node_extractors_pool = [
+        node_extractor_from_json(e) for e in payload.get("node_extractors_pool", [])
+    ]
+    predicates_pool = [
+        predicate_from_json(p) for p in payload.get("predicates_pool", [])
+    ]
+
+    for entry in payload.get("column_results", []):
+        key = trees_key(entry["trees"])
+        if key is None:
+            continue
+        values = tuple(
+            tuple(scalar_from_json(v) for v in example) for example in entry["values"]
+        )
+        context.column_results.setdefault(
+            (key, values), [columns_pool[e] for e in entry["extractors"]]
+        )
+
+    for entry in payload.get("chi", []):
+        key = trees_key(entry["trees"])
+        if key is None:
+            continue
+        column = columns_pool[entry["column"]]
+        context.chi.setdefault(
+            (key, column), [node_extractors_pool[e] for e in entry["extractors"]]
+        )
+
+    for entry in payload.get("universes", []):
+        key = trees_key(entry["trees"])
+        if key is None:
+            continue
+        columns = tuple(columns_pool[c] for c in entry["columns"])
+        context.universes.setdefault(
+            (key, columns), [predicates_pool[p] for p in entry["predicates"]]
+        )
+
+    return context
+
+
+def context_dumps(context: SynthesisContext, *, indent: int = 2) -> str:
+    """Serialize a context straight to a JSON string."""
+    return json.dumps(serialize_context(context), indent=indent, sort_keys=True)
+
+
+def context_loads(
+    text: str, trees: Sequence[HDT], context: Optional[SynthesisContext] = None
+) -> SynthesisContext:
+    """Inverse of :func:`context_dumps`."""
+    return deserialize_context(json.loads(text), trees, context)

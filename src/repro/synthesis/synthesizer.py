@@ -350,7 +350,18 @@ def synthesize(
     *,
     name: str = "task",
 ) -> SynthesisResult:
-    """Convenience wrapper: synthesize from ``(tree, rows)`` pairs."""
+    """Convenience wrapper: synthesize from ``(tree, rows)`` pairs.
+
+    Examples
+    --------
+    >>> from repro.hdt import build_tree
+    >>> tree = build_tree({"user": [{"name": "Ann"}, {"name": "Bob"}]})
+    >>> result = synthesize([(tree, [("Ann",), ("Bob",)])])
+    >>> result.success
+    True
+    >>> result.describe()
+    'λτ. filter((λs.descendants(s, name)){root(τ)}, λt. true)'
+    """
     task = SynthesisTask(
         examples=[ExamplePair(tree, [tuple(r) for r in rows]) for tree, rows in examples],
         name=name,

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Documentation checks: dead links and CLI --help snapshots.
+
+Two guards keep the docs/ site honest (CI job ``docs-check``):
+
+1. **Dead links** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must resolve to an existing file, and every ``#anchor``
+   must match a heading of the target page (GitHub slug rules).
+2. **Help snapshots** — the ``--help`` output of ``python -m repro`` and
+   each subcommand is snapshotted under ``docs/help/``; the check re-runs
+   the CLI and diffs, so the CLI reference can never drift from the code.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py           # check (exit 1 on drift)
+    PYTHONPATH=src python tools/check_docs.py --regen   # rewrite the snapshots
+
+Snapshots are rendered with ``COLUMNS=80``; regenerate with the Python
+version the CI job pins (argparse wrapping can vary across versions).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+HELP_DIR = os.path.join(DOCS_DIR, "help")
+
+HELP_SNAPSHOTS = {
+    "repro.txt": ["--help"],
+    "repro-learn.txt": ["learn", "--help"],
+    "repro-run.txt": ["run", "--help"],
+    "repro-migrate.txt": ["migrate", "--help"],
+}
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    for name in sorted(os.listdir(DOCS_DIR)):
+        if name.endswith(".md"):
+            files.append(os.path.join(DOCS_DIR, name))
+    return files
+
+
+def check_links():
+    errors = []
+    anchors = {}
+
+    def anchors_of(path):
+        if path not in anchors:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = CODE_FENCE_RE.sub("", handle.read())
+            anchors[path] = {github_slug(h) for h in HEADING_RE.findall(text)}
+        return anchors[path]
+
+    for path in markdown_files():
+        relative = os.path.relpath(path, REPO_ROOT)
+        with open(path, "r", encoding="utf-8") as handle:
+            text = CODE_FENCE_RE.sub("", handle.read())
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part)
+                )
+                if not os.path.exists(resolved):
+                    errors.append(f"{relative}: dead link -> {target}")
+                    continue
+            else:
+                resolved = path
+            if anchor and resolved.endswith(".md"):
+                if github_slug(anchor) not in anchors_of(resolved):
+                    errors.append(f"{relative}: dead anchor -> {target}")
+    return errors
+
+
+def render_help(arguments):
+    env = dict(os.environ)
+    env["COLUMNS"] = "80"
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=True,
+    )
+    return result.stdout
+
+
+def check_help(regen):
+    errors = []
+    os.makedirs(HELP_DIR, exist_ok=True)
+    for name, arguments in HELP_SNAPSHOTS.items():
+        path = os.path.join(HELP_DIR, name)
+        rendered = render_help(arguments)
+        if regen:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"wrote {os.path.relpath(path, REPO_ROOT)}")
+            continue
+        if not os.path.exists(path):
+            errors.append(f"missing help snapshot docs/help/{name} (run --regen)")
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        if expected != rendered:
+            errors.append(
+                f"docs/help/{name} is stale (run "
+                f"`PYTHONPATH=src python tools/check_docs.py --regen`)"
+            )
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--regen", action="store_true", help="rewrite the --help snapshots"
+    )
+    args = parser.parse_args(argv)
+
+    errors = check_links()
+    errors.extend(check_help(args.regen))
+    if errors:
+        for error in errors:
+            print(f"docs-check: {error}", file=sys.stderr)
+        return 1
+    checked = len(markdown_files())
+    print(f"docs-check ok: {checked} markdown files, {len(HELP_SNAPSHOTS)} help snapshots")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
