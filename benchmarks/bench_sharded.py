@@ -1,0 +1,204 @@
+"""Benchmark E5: the sharded multi-process run path — cross-PR perf record.
+
+Runs the **full, unrestricted** 9-table DBLP plan through
+``shard_execute`` over a grid of shard counts (1/2/4) × backends
+(memory/sqlite/columnar) × scales, and writes a machine-readable record to
+``BENCH_PR5.json`` at the repository root.  Before any timing is recorded,
+every cell's output is verified **canonically identical** (surrogate keys
+renamed by first occurrence — ``canonical_table_rows``) to a whole-tree
+reference execution, so the record can never report a fast-but-wrong run.
+
+Shard fan-out only pays on multi-core machines: the record stores the
+host's ``cpu_count`` next to the measured shards-4-vs-shards-1 speedup so
+numbers from different runners compare honestly.  On a single-core host the
+spill/reduce overhead makes the speedup ≈1× or below by construction.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py           # full record
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke   # CI guard
+
+``--smoke`` is the CI sharded-parity guard: a small scale, ``--shards 2``
+(worker pool included) vs whole-tree execution, canonical equality asserted
+and the whole check bounded by a 60 s budget.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import dblp  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    MemoryBackend,
+    MigrationPlan,
+    SQLiteBackend,
+    canonical_table_rows,
+    execute_plan,
+    shard_execute,
+)
+from repro.runtime.backends import ColumnarBackend  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+
+CHUNK_SIZE = 500
+SHARD_COUNTS = (1, 2, 4)
+BACKENDS = {
+    "memory": MemoryBackend,
+    "sqlite": SQLiteBackend,
+    "columnar": ColumnarBackend,
+}
+SMOKE_SCALE = 200
+SMOKE_LIMIT_SECONDS = 60.0
+
+
+def _canonical(plan, backend):
+    return canonical_table_rows(
+        plan.schema, {t: backend.fetch_rows(t) for t in plan.schema.table_names}
+    )
+
+
+def _measure(label, run, reference, plan, rounds=2):
+    """Best-of-N wall clock; every round's output is checked before timing."""
+    elapsed = None
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        report = run()
+        duration = time.perf_counter() - start
+        if _canonical(plan, report.backend) != reference:
+            raise SystemExit(f"PARITY FAIL: {label} diverged from whole-tree output")
+        elapsed = duration if elapsed is None else min(elapsed, duration)
+    result = {
+        "rows": report.total_rows,
+        "seconds": round(elapsed, 4),
+        "rows_per_sec": round(report.total_rows / max(elapsed, 1e-9)),
+        "chunks": report.chunks,
+        "shards": report.shards,
+    }
+    print(
+        f"  {label:28s} {result['rows']:>8d} rows  {result['seconds']:>8.2f}s  "
+        f"{result['rows_per_sec']:>8d} rows/s"
+    )
+    return result
+
+
+def _run_scale(plan, scale):
+    document = dblp.dataset(scale=scale).generate(scale)
+    records = len(document.root.children)
+    print(f"scale {scale} ({records} records):")
+    whole = execute_plan(plan, document, MemoryBackend())
+    reference = _canonical(plan, whole.backend)
+    results = {
+        "records": records,
+        "whole_tree_memory_seconds": round(whole.execution_time, 4),
+        "grid": {},
+    }
+    for backend_name, make_backend in BACKENDS.items():
+        for shards in SHARD_COUNTS:
+            label = f"shards={shards} {backend_name}"
+            results["grid"][f"{backend_name}/shards{shards}"] = _measure(
+                label,
+                lambda mb=make_backend, s=shards: shard_execute(
+                    plan, document, mb(), shards=s, chunk_size=CHUNK_SIZE
+                ),
+                reference,
+                plan,
+            )
+    truth = dblp.ground_truth_counts(scale)
+    expected = sum(truth.values())
+    for name, cell in results["grid"].items():
+        if cell["rows"] != expected:
+            raise SystemExit(
+                f"row count mismatch at scale {scale}/{name}: "
+                f"{cell['rows']} != {expected}"
+            )
+    return results
+
+
+def _smoke(plan):
+    start = time.perf_counter()
+    document = dblp.dataset(scale=SMOKE_SCALE).generate(SMOKE_SCALE)
+    whole = execute_plan(plan, document, MemoryBackend())
+    reference = _canonical(plan, whole.backend)
+    report = shard_execute(plan, document, shards=2, chunk_size=CHUNK_SIZE)
+    if _canonical(plan, report.backend) != reference:
+        print("SMOKE FAIL: --shards 2 output diverged from whole-tree execution")
+        return 1
+    elapsed = time.perf_counter() - start
+    if elapsed >= SMOKE_LIMIT_SECONDS:
+        print(
+            f"SMOKE FAIL: sharded parity check took {elapsed:.1f}s "
+            f"(limit {SMOKE_LIMIT_SECONDS:.0f}s)"
+        )
+        return 1
+    print(
+        f"smoke ok: shards=2 canonically identical to whole-tree at scale "
+        f"{SMOKE_SCALE} ({report.total_rows} rows), {elapsed:.1f}s "
+        f"< {SMOKE_LIMIT_SECONDS:.0f}s"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI guard: --shards 2 vs whole-tree parity at scale {SMOKE_SCALE}, "
+        f"< {SMOKE_LIMIT_SECONDS:.0f}s",
+    )
+    parser.add_argument("--scales", type=int, nargs="*", default=[500, 2000])
+    args = parser.parse_args(argv)
+
+    print("learning the DBLP plan (synthesis, once)...")
+    start = time.perf_counter()
+    plan = MigrationPlan.learn(dblp.dataset(scale=3).migration_spec())
+    print(
+        f"  learned in {time.perf_counter() - start:.1f}s "
+        f"({len(plan.schema.tables)} tables)"
+    )
+
+    if args.smoke:
+        return _smoke(plan)
+
+    payload = {
+        "benchmark": "sharded-executor",
+        "pr": 5,
+        "dataset": "DBLP",
+        "plan": "full (9 tables, author link tables included)",
+        "chunk_size": CHUNK_SIZE,
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "parity": "every cell verified canonically identical to whole-tree "
+        "execution before timing",
+        "results": {},
+    }
+    for scale in args.scales:
+        payload["results"][str(scale)] = _run_scale(plan, scale)
+
+    reference = payload["results"].get(
+        "2000", next(iter(payload["results"].values()))
+    )
+    shard1 = reference["grid"]["memory/shards1"]["seconds"]
+    shard4 = reference["grid"]["memory/shards4"]["seconds"]
+    payload["speedup_shards4_vs_shards1"] = round(shard1 / max(shard4, 1e-9), 2)
+    payload["note"] = (
+        "shard fan-out pays with multiple cores; interpret the speedup "
+        "together with cpu_count"
+    )
+    with open(RECORD_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"wrote {RECORD_PATH} (shards4 vs shards1 on memory: "
+        f"{payload['speedup_shards4_vs_shards1']}x on {payload['cpu_count']} core(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,12 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy", "scipy"],
+    extras_require={
+        # Arrow IPC / Parquet output for the columnar backend; without it the
+        # backend falls back to a pure-python JSON-columns format (the import
+        # is guarded — see src/repro/runtime/backends/columnar.py).
+        "columnar": ["pyarrow"],
+    },
     entry_points={
         "console_scripts": [
             "repro-migrate = repro.runtime.cli:main",

@@ -17,12 +17,17 @@ ROADMAP's north star asks for:
 * :mod:`repro.runtime.incremental` — :func:`learn_incremental`: re-synthesize
   only the tables a spec edit affected, byte-identical to a cold learn;
 * :mod:`repro.runtime.executor` — backend-pluggable whole-tree execution;
-* :mod:`repro.runtime.sqlite_backend` — loading straight into SQLite with
-  native key enforcement;
+* :mod:`repro.runtime.backends` — the :class:`ExecutionBackend` protocol and
+  the shipped memory / SQLite / columnar (Arrow IPC, Parquet, JSON-columns)
+  backends, plus the name registry (see ``docs/backends.md``);
 * :mod:`repro.runtime.streaming` — chunked, bounded-memory execution with
   cross-chunk key reconciliation and optional multiprocessing fan-out;
+* :mod:`repro.runtime.sharded` — multi-process map/reduce execution:
+  contiguous record shards, per-shard dedup in workers, a streaming
+  cross-shard reducer, validated spill files;
 * :mod:`repro.runtime.cli` — ``python -m repro learn|run|migrate``
-  (``--incremental``, ``--jobs``, ``--streaming``, ...).
+  (``--incremental``, ``--jobs``, ``--streaming``, ``--shards``,
+  ``--backend``, ...).
 
 The full architecture is documented in ``docs/runtime.md``.
 
@@ -39,11 +44,21 @@ Example — learn once, run many, then evolve the schema incrementally:
 30
 """
 
+from .backends import (
+    ColumnarBackend,
+    ColumnarBackendError,
+    ExecutionBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    SQLiteBackendError,
+    available_backends,
+    create_backend,
+    database_matches_sqlite,
+    load_database,
+)
 from .executor import (
     ChunkMerger,
-    ExecutionBackend,
     ExecutionReport,
-    MemoryBackend,
     canonical_database_rows,
     canonical_table_rows,
     execute_plan,
@@ -53,16 +68,19 @@ from .context_store import ContextStore, SpecSnapshot
 from .incremental import IncrementalReport, learn_incremental
 from .plan import MigrationPlan, TablePlan
 from .plan_cache import PlanCache, spec_fingerprint
-from .spec_diff import SpecDiff, TableChange, diff_specs, reusable_plans
-from .sqlite_backend import (
-    SQLiteBackend,
-    SQLiteBackendError,
-    database_matches_sqlite,
-    load_database,
+from .sharded import (
+    ShardError,
+    ShardSpec,
+    partition_records,
+    shard_execute,
+    shard_source,
 )
+from .spec_diff import SpecDiff, TableChange, diff_specs, reusable_plans
 from .streaming import (
     Chunk,
     clone_subtree,
+    count_json_records,
+    count_xml_records,
     execute_plan_on_chunk,
     iter_json_chunks,
     iter_tree_chunks,
@@ -74,6 +92,17 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionReport",
     "MemoryBackend",
+    "ColumnarBackend",
+    "ColumnarBackendError",
+    "available_backends",
+    "create_backend",
+    "ShardError",
+    "ShardSpec",
+    "partition_records",
+    "shard_execute",
+    "shard_source",
+    "count_json_records",
+    "count_xml_records",
     "canonical_database_rows",
     "canonical_table_rows",
     "execute_plan",

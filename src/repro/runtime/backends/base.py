@@ -1,0 +1,64 @@
+"""The :class:`ExecutionBackend` protocol — where migrated rows land.
+
+The runtime separates *what to compute* (a :class:`~repro.runtime.plan.
+MigrationPlan`) from *where the rows go*.  Every execution path — whole-tree
+(:func:`~repro.runtime.executor.execute_plan`), streamed
+(:func:`~repro.runtime.streaming.stream_execute`) and sharded
+(:func:`~repro.runtime.sharded.shard_execute`) — drives its output through
+this protocol, so a backend written once works under all three modes.
+
+Three backends ship with the reproduction (see
+:func:`~repro.runtime.backends.create_backend`):
+
+* :class:`~repro.runtime.backends.memory.MemoryBackend` — the in-memory
+  constraint-checked research database;
+* :class:`~repro.runtime.backends.sqlite.SQLiteBackend` — a real SQLite
+  file with native deferred key enforcement;
+* :class:`~repro.runtime.backends.columnar.ColumnarBackend` — column-major
+  batches, written as Arrow IPC / Parquet when ``pyarrow`` is available and
+  as a pure-python JSON-columns format otherwise.
+
+The full contract (lifecycle, ordering guarantees, failure semantics) is
+documented in ``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ...hdt.node import Scalar
+from ...relational.schema import DatabaseSchema
+
+Row = Tuple[Scalar, ...]
+
+
+class ExecutionBackend:
+    """Where migrated rows are stored.
+
+    Lifecycle: ``begin(schema)`` once, ``insert_rows(table, rows)`` any number
+    of times (tables arrive in foreign-key dependency order; row batches for
+    one table arrive in document order), ``finalize()`` once.  Backends may
+    buffer; only after ``finalize`` must all rows be durable and
+    constraint-checked.  ``close()`` releases external resources (files,
+    connections) and is safe to call more than once.
+
+    :meth:`fetch_rows` is the uniform read-back used by parity checks and
+    benchmarks — every shipped backend can return a table's rows in insertion
+    order after ``finalize``.
+    """
+
+    def begin(self, schema: DatabaseSchema) -> None:
+        raise NotImplementedError
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        raise NotImplementedError
+
+    def fetch_rows(self, table: str) -> List[Row]:
+        """All rows of a table in insertion order (valid after ``finalize``)."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release external resources; the default backend holds none."""

@@ -1,0 +1,314 @@
+"""Columnar execution backend: column-major batches, Arrow IPC / Parquet files.
+
+Analytical consumers (DuckDB, pandas, Spark, a data lake) want columns, not
+SQL inserts.  This backend accumulates each table's rows as **column-major
+batches** (one python list per column, sealed every ``batch_size`` rows) and,
+when given an output directory, lands them as:
+
+* **Arrow IPC** (``<table>.arrow``) or **Parquet** (``<table>.parquet``)
+  when ``pyarrow`` is importable — install with ``pip install repro[columnar]``;
+* a **pure-python JSON-columns** format (``<table>.columns.json``) otherwise,
+  so the backend (and the tier-1 test suite) never depends on ``pyarrow``.
+
+Either way a ``manifest.json`` records the format, per-table files, row
+counts and column names; :func:`load_table_rows` reads any of the three
+formats back into row tuples.  The in-memory batches always remain readable
+through :meth:`ColumnarBackend.fetch_rows`, which is what the parity checks
+and benchmarks use.
+
+Column types follow the relational schema (``text`` / ``integer`` / ``real``);
+primary- and foreign-key columns arrive already reconciled by the execution
+pipeline (the backend performs no constraint checking of its own — pair it
+with the memory or SQLite backend when validation is the point).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ...relational.schema import DatabaseSchema
+from .base import ExecutionBackend, Row
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow as _pa
+except ImportError:  # pragma: no cover - the tier-1 environment
+    _pa = None
+
+HAVE_PYARROW = _pa is not None
+
+#: File formats the backend can land; ``arrow`` and ``parquet`` need pyarrow.
+FILE_FORMATS = ("arrow", "parquet", "json")
+
+MANIFEST_NAME = "manifest.json"
+
+
+class ColumnarBackendError(Exception):
+    """Raised when columnar landing fails (bad format, unwritable files, ...)."""
+
+
+@dataclass
+class ColumnBatch:
+    """One sealed column-major batch: ``columns[i][j]`` = column i of row j."""
+
+    columns: List[list]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def rows(self) -> Iterable[Row]:
+        return zip(*self.columns) if self.columns else iter(())
+
+
+class _TableBuffer:
+    """Accumulates one table's rows column-wise, sealing full batches."""
+
+    def __init__(self, column_names: List[str], batch_size: int) -> None:
+        self.column_names = column_names
+        self.batch_size = batch_size
+        self.batches: List[ColumnBatch] = []
+        self._open: List[list] = [[] for _ in column_names]
+        self.total_rows = 0
+
+    def append(self, row: Row) -> None:
+        if len(row) != len(self._open):
+            raise ColumnarBackendError(
+                f"row arity {len(row)} != {len(self._open)} columns"
+            )
+        for column, value in zip(self._open, row):
+            column.append(value)
+        self.total_rows += 1
+        if len(self._open[0]) >= self.batch_size:
+            self.seal()
+
+    def seal(self) -> None:
+        if self._open and self._open[0]:
+            self.batches.append(ColumnBatch(self._open))
+            self._open = [[] for _ in self.column_names]
+
+
+class ColumnarBackend(ExecutionBackend):
+    """Land migrated rows as column-major batches (and optionally files).
+
+    Parameters
+    ----------
+    directory:
+        Output directory for the per-table files and the manifest.  ``None``
+        (the default) keeps the batches in memory only — useful for parity
+        checks and for handing batches to an in-process consumer.
+    batch_size:
+        Rows per sealed :class:`ColumnBatch` (and per Arrow record batch).
+    file_format:
+        ``"arrow"``, ``"parquet"``, ``"json"``, or ``None`` to pick
+        ``"arrow"`` when pyarrow is importable and ``"json"`` otherwise.
+        Asking for an Arrow-family format without pyarrow raises
+        :class:`ColumnarBackendError` immediately (not at :meth:`finalize`).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        batch_size: int = 8192,
+        file_format: Optional[str] = None,
+    ) -> None:
+        if file_format is not None and file_format not in FILE_FORMATS:
+            raise ColumnarBackendError(
+                f"unknown file format {file_format!r} (available: {', '.join(FILE_FORMATS)})"
+            )
+        if file_format in ("arrow", "parquet") and not HAVE_PYARROW:
+            raise ColumnarBackendError(
+                f"file format {file_format!r} needs pyarrow "
+                f"(pip install repro[columnar]); use file_format='json' for "
+                f"the pure-python fallback"
+            )
+        self.directory = directory
+        self.batch_size = max(1, batch_size)
+        self.file_format = file_format or ("arrow" if HAVE_PYARROW else "json")
+        self.schema: Optional[DatabaseSchema] = None
+        self._buffers: Dict[str, _TableBuffer] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------ lifecycle
+    def begin(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self._finalized = False
+        self._buffers = {
+            table.name: _TableBuffer(list(table.column_names), self.batch_size)
+            for table in schema.tables
+        }
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        buffer = self._buffers.get(table)
+        if buffer is None:
+            raise ColumnarBackendError(f"unknown table {table!r} (begin() not called?)")
+        before = buffer.total_rows
+        for row in rows:
+            buffer.append(tuple(row))
+        return buffer.total_rows - before
+
+    def finalize(self) -> None:
+        if self.schema is None:
+            raise ColumnarBackendError("begin() was not called")
+        for buffer in self._buffers.values():
+            buffer.seal()
+        self._finalized = True
+        if self.directory is not None:
+            self._write_files()
+
+    # -------------------------------------------------------------- queries
+    def batches(self, table: str) -> List[ColumnBatch]:
+        """The sealed column batches of a table (complete after finalize)."""
+        return list(self._buffers[table].batches)
+
+    def fetch_rows(self, table: str) -> List[Row]:
+        buffer = self._buffers[table]
+        rows: List[Row] = []
+        for batch in buffer.batches:
+            rows.extend(batch.rows())
+        if not self._finalized:  # include the open batch mid-execution
+            rows.extend(zip(*buffer._open) if buffer._open and buffer._open[0] else ())
+        return rows
+
+    def row_count(self, table: str) -> int:
+        return self._buffers[table].total_rows
+
+    # --------------------------------------------------------------- output
+    def output_filenames(self) -> List[str]:
+        """The file names this backend writes into its output directory.
+
+        Lets a caller clean up exactly this run's artifacts (and nothing
+        else) after a failure inside a directory it does not own.
+        """
+        names = [MANIFEST_NAME]
+        if self.schema is not None:
+            names.extend(self._table_filename(t.name) for t in self.schema.tables)
+        return names
+
+    def _table_filename(self, table: str) -> str:
+        suffix = {"arrow": ".arrow", "parquet": ".parquet", "json": ".columns.json"}
+        return table + suffix[self.file_format]
+
+    def _write_files(self) -> None:
+        assert self.schema is not None and self.directory is not None
+        manifest: Dict[str, object] = {
+            "kind": "repro_columnar_output",
+            "format": self.file_format,
+            "database": self.schema.name,
+            "tables": {},
+        }
+        for table_schema in self.schema.tables:
+            buffer = self._buffers[table_schema.name]
+            filename = self._table_filename(table_schema.name)
+            path = os.path.join(self.directory, filename)
+            try:
+                if self.file_format == "json":
+                    _write_json_columns(path, buffer)
+                else:
+                    self._write_arrow_family(path, table_schema.name, buffer)
+            except ColumnarBackendError:
+                raise
+            except Exception as error:
+                raise ColumnarBackendError(
+                    f"writing {path} failed: {error}"
+                ) from error
+            manifest["tables"][table_schema.name] = {
+                "file": filename,
+                "rows": buffer.total_rows,
+                "columns": list(buffer.column_names),
+            }
+        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def _arrow_table(self, table: str, buffer: _TableBuffer):  # pragma: no cover
+        """One ``pyarrow.Table`` from all sealed batches, schema-typed."""
+        assert _pa is not None and self.schema is not None
+        type_map = {"text": _pa.string(), "integer": _pa.int64(), "real": _pa.float64()}
+        fields = [
+            _pa.field(column.name, type_map[column.dtype], nullable=True)
+            for column in self.schema.table(table).columns
+        ]
+        arrays = []
+        for index, field_ in enumerate(fields):
+            cells: list = []
+            for batch in buffer.batches:
+                cells.extend(batch.columns[index])
+            try:
+                arrays.append(_pa.array(cells, type=field_.type))
+            except (_pa.ArrowInvalid, _pa.ArrowTypeError) as error:
+                raise ColumnarBackendError(
+                    f"column {table}.{field_.name} does not fit declared type "
+                    f"{field_.type}: {error}"
+                ) from error
+        return _pa.Table.from_arrays(arrays, schema=_pa.schema(fields))
+
+    def _write_arrow_family(self, path, table, buffer):  # pragma: no cover
+        arrow_table = self._arrow_table(table, buffer)
+        if self.file_format == "parquet":
+            import pyarrow.parquet as pq
+
+            pq.write_table(arrow_table, path)
+        else:
+            with _pa.OSFile(path, "wb") as sink:
+                with _pa.ipc.new_file(sink, arrow_table.schema) as writer:
+                    writer.write_table(arrow_table, max_chunksize=self.batch_size)
+
+
+def _write_json_columns(path: str, buffer: _TableBuffer) -> None:
+    payload = {
+        "kind": "repro_json_columns",
+        "columns": list(buffer.column_names),
+        "rows": buffer.total_rows,
+        "batches": [batch.columns for batch in buffer.batches],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+
+
+def load_table_rows(directory: str, table: str) -> List[Row]:
+    """Read one table of a columnar output directory back as row tuples.
+
+    Dispatches on the manifest's recorded format; reading Arrow or Parquet
+    output needs pyarrow (the JSON fallback needs nothing).
+    """
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ColumnarBackendError(f"cannot read {manifest_path}: {error}") from error
+    entry = manifest.get("tables", {}).get(table)
+    if entry is None:
+        raise ColumnarBackendError(f"table {table!r} not in {manifest_path}")
+    path = os.path.join(directory, entry["file"])
+    fmt = manifest.get("format")
+    if fmt == "json":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        rows: List[Row] = []
+        for columns in payload["batches"]:
+            rows.extend(zip(*columns) if columns else ())
+        return rows
+    if fmt in ("arrow", "parquet"):  # pragma: no cover - needs pyarrow
+        if not HAVE_PYARROW:
+            raise ColumnarBackendError(
+                f"reading {fmt} output needs pyarrow (pip install repro[columnar])"
+            )
+        if fmt == "parquet":
+            import pyarrow.parquet as pq
+
+            arrow_table = pq.read_table(path)
+        else:
+            with _pa.memory_map(path, "r") as source:
+                arrow_table = _pa.ipc.open_file(source).read_all()
+        columns = [column.to_pylist() for column in arrow_table.columns]
+        return [tuple(row) for row in zip(*columns)] if columns else []
+    raise ColumnarBackendError(f"unknown columnar format {fmt!r} in manifest")

@@ -1,0 +1,38 @@
+"""The in-memory backend: rows land in the research :class:`Database`."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ...relational.database import Database
+from ...relational.schema import DatabaseSchema
+from .base import ExecutionBackend, Row
+
+
+class MemoryBackend(ExecutionBackend):
+    """Loads rows into the in-memory :class:`Database` (the research path).
+
+    Every insert is constraint-checked by the database itself;
+    ``finalize`` additionally runs the whole-database validation (foreign
+    keys resolvable, key uniqueness) unless ``validate=False``.
+    """
+
+    def __init__(self, *, validate: bool = True) -> None:
+        self.validate = validate
+        self.database: Optional[Database] = None
+
+    def begin(self, schema: DatabaseSchema) -> None:
+        self.database = Database(schema)
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        assert self.database is not None, "begin() not called"
+        return self.database.insert_many(table, rows)
+
+    def finalize(self) -> None:
+        assert self.database is not None, "begin() not called"
+        if self.validate:
+            self.database.validate()
+
+    def fetch_rows(self, table: str) -> List[Row]:
+        assert self.database is not None, "begin() not called"
+        return [tuple(row) for row in self.database.table(table).rows]

@@ -1,0 +1,223 @@
+"""SQLite execution backend: migrate straight into a real database file.
+
+The in-memory :class:`~repro.relational.database.Database` is the research
+substrate; this backend is the production path.  It reuses the DDL generator
+of :mod:`repro.codegen.sql_gen` (so the SQL surface is identical to the dump
+path), loads rows with ``executemany`` in batches inside one transaction, and
+lets SQLite enforce the primary- and foreign-key constraints natively:
+
+* ``PRAGMA foreign_keys = ON`` + ``PRAGMA defer_foreign_keys = ON`` — every
+  foreign key is checked, but only at commit, so insert order within a
+  transaction does not matter;
+* ``PRAGMA journal_mode = WAL`` and ``PRAGMA synchronous = NORMAL`` for
+  file-backed databases — the standard write-heavy loading configuration
+  (a full checkpoint runs at :meth:`finalize`, so the finished ``.db`` file is
+  self-contained);
+* batched ``executemany`` inserts, which avoid per-row statement overhead.
+
+:func:`database_matches_sqlite` is the parity check between the two backends:
+it compares every table of an in-memory database with the corresponding
+SQLite table row-for-row (in insertion order).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Optional
+
+from ...codegen.sql_gen import create_schema_statements, quote_identifier
+from ...hdt.node import Scalar
+from ...relational.database import Database
+from ...relational.schema import DatabaseSchema
+from .base import ExecutionBackend, Row
+
+
+class SQLiteBackendError(Exception):
+    """Raised when loading into SQLite fails or violates a constraint."""
+
+
+class SQLiteBackend(ExecutionBackend):
+    """Execute a migration plan directly into a ``sqlite3`` database.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the database, or ``":memory:"`` (the default) for
+        a transient in-memory database.
+    batch_size:
+        Number of rows per ``executemany`` call.
+    enforce_foreign_keys:
+        When true (default), foreign keys are enforced by SQLite and a
+        violation surfaces as :class:`SQLiteBackendError` at :meth:`finalize`.
+    """
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        batch_size: int = 1000,
+        enforce_foreign_keys: bool = True,
+    ) -> None:
+        self.path = path
+        self.batch_size = max(1, batch_size)
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self.connection: Optional[sqlite3.Connection] = None
+        self._insert_sql: Dict[str, str] = {}
+        self._schema: Optional[DatabaseSchema] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def begin(self, schema: DatabaseSchema) -> None:
+        self._schema = schema
+        # isolation_level=None puts the sqlite3 driver in manual-transaction
+        # mode: nothing auto-commits behind our back, so the single explicit
+        # transaction opened below (and its defer_foreign_keys setting, which
+        # SQLite resets at every commit) stays open until finalize().
+        self.connection = sqlite3.connect(self.path, isolation_level=None)
+        cursor = self.connection.cursor()
+        if self.path != ":memory:":
+            cursor.execute("PRAGMA journal_mode = WAL")
+            cursor.execute("PRAGMA synchronous = NORMAL")
+        if self.enforce_foreign_keys:
+            cursor.execute("PRAGMA foreign_keys = ON")
+        try:
+            for statement in create_schema_statements(schema):
+                cursor.execute(statement)
+        except sqlite3.Error as error:
+            raise SQLiteBackendError(f"failed to create schema: {error}") from error
+        cursor.execute("BEGIN")
+        if self.enforce_foreign_keys:
+            # Check foreign keys at commit time: tables load in dependency
+            # order, but deferral also tolerates self-references and keeps
+            # batch boundaries free of ordering constraints.
+            cursor.execute("PRAGMA defer_foreign_keys = ON")
+        for table in schema.tables:
+            placeholders = ", ".join("?" for _ in table.columns)
+            columns = ", ".join(quote_identifier(c) for c in table.column_names)
+            self._insert_sql[table.name] = (
+                f"INSERT INTO {quote_identifier(table.name)} ({columns}) "
+                f"VALUES ({placeholders})"
+            )
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        if self.connection is None:
+            raise SQLiteBackendError("begin() was not called")
+        sql = self._insert_sql.get(table)
+        if sql is None:
+            raise SQLiteBackendError(f"unknown table {table!r}")
+        cursor = self.connection.cursor()
+        inserted = 0
+        batch: List[Row] = []
+        try:
+            for row in rows:
+                batch.append(tuple(row))
+                if len(batch) >= self.batch_size:
+                    cursor.executemany(sql, batch)
+                    inserted += len(batch)
+                    batch.clear()
+            if batch:
+                cursor.executemany(sql, batch)
+                inserted += len(batch)
+        except sqlite3.Error as error:
+            raise SQLiteBackendError(f"insert into {table!r} failed: {error}") from error
+        return inserted
+
+    def finalize(self) -> None:
+        if self.connection is None:
+            raise SQLiteBackendError("begin() was not called")
+        try:
+            self.connection.commit()
+        except sqlite3.Error as error:
+            raise SQLiteBackendError(f"commit failed: {error}") from error
+        if self.path != ":memory:":
+            # Fold the write-ahead log back into the main file so the
+            # finished .db is self-contained and byte-stable.
+            self.connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+
+    # -------------------------------------------------------------- queries
+    def fetch_rows(self, table: str) -> List[Row]:
+        """All rows of a table in insertion (rowid) order."""
+        if self.connection is None or self._schema is None:
+            raise SQLiteBackendError("begin() was not called")
+        table_schema = self._schema.table(table)
+        columns = ", ".join(quote_identifier(c) for c in table_schema.column_names)
+        cursor = self.connection.execute(
+            f"SELECT {columns} FROM {quote_identifier(table)} ORDER BY rowid"
+        )
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def row_count(self, table: str) -> int:
+        if self.connection is None:
+            raise SQLiteBackendError("begin() was not called")
+        cursor = self.connection.execute(
+            f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+        )
+        return int(cursor.fetchone()[0])
+
+    def dump(self) -> str:
+        """Deterministic SQL dump of the whole database (``iterdump``)."""
+        if self.connection is None:
+            raise SQLiteBackendError("begin() was not called")
+        return "\n".join(self.connection.iterdump()) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# Parity with the in-memory backend
+# --------------------------------------------------------------------------- #
+
+
+def _normalize(value: Scalar) -> Scalar:
+    # SQLite stores booleans as integers; fold Python bools the same way so
+    # the comparison is storage-level, not type-level.
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def database_matches_sqlite(database: Database, backend: SQLiteBackend) -> List[str]:
+    """Compare an in-memory database against a loaded SQLite backend.
+
+    Returns a list of human-readable mismatch messages (empty = parity).
+    Rows are compared in insertion order after normalizing booleans to the
+    integers SQLite stores.
+    """
+    mismatches: List[str] = []
+    for table_schema in database.schema.tables:
+        expected = [
+            tuple(_normalize(v) for v in row)
+            for row in database.table(table_schema.name).rows
+        ]
+        actual = [
+            tuple(_normalize(v) for v in row) for row in backend.fetch_rows(table_schema.name)
+        ]
+        if len(expected) != len(actual):
+            mismatches.append(
+                f"{table_schema.name}: {len(expected)} rows in memory, "
+                f"{len(actual)} in SQLite"
+            )
+            continue
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            if left != right:
+                mismatches.append(
+                    f"{table_schema.name} row {index}: memory={left!r} sqlite={right!r}"
+                )
+                break
+    return mismatches
+
+
+def load_database(database: Database, path: str = ":memory:") -> SQLiteBackend:
+    """Load an already-populated in-memory database into SQLite.
+
+    Convenience used by the CLI's dump path and by tests; returns the backend
+    with an open connection.
+    """
+    backend = SQLiteBackend(path)
+    backend.begin(database.schema)
+    for table_schema in database.schema.topological_order():
+        backend.insert_rows(table_schema.name, database.table(table_schema.name).rows)
+    backend.finalize()
+    return backend

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -51,10 +52,23 @@ from ..hdt.xml_plugin import xml_file_to_hdt
 from ..migration.engine import MigrationError, MigrationSpec, TableExampleSpec
 from ..relational.database import IntegrityError
 from ..relational.schema import SchemaError
-from .executor import ExecutionBackend, ExecutionReport, MemoryBackend, execute_plan
+from .backends import (
+    BACKEND_NAMES,
+    OUTPUT_KIND,
+    ColumnarBackend,
+    ColumnarBackendError,
+    ExecutionBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    SQLiteBackendError,
+    create_backend,
+)
+from .backends.columnar import FILE_FORMATS
+from .executor import ExecutionReport, execute_plan
 from .plan import MigrationPlan
 from .plan_cache import DEFAULT_CACHE_DIR, PlanCache
-from .sqlite_backend import SQLiteBackend, SQLiteBackendError
+from .sharded import ShardError, TreeSource, shard_execute
+from .sharded import shard_source as make_shard_source
 from .streaming import (
     DEFAULT_CHUNK_SIZE,
     iter_json_chunks,
@@ -155,9 +169,22 @@ class Spec:
         ]
         return MigrationSpec(schema=schema, example_tree=example_tree, table_examples=examples)
 
+    def _document_path(self, allow_directory: bool = False) -> str:
+        path = self.resolve(self.get("document"))
+        if not os.path.exists(path):
+            raise CLIError(f"document not found: {path}")
+        if not allow_directory and os.path.isdir(path):
+            raise CLIError(
+                f"document {path} is a directory — directories execute "
+                f"shard-by-shard (use --shards)"
+            )
+        return path
+
     def _load_document(self, path: str) -> HDT:
         if not os.path.exists(path):
             raise CLIError(f"document not found: {path}")
+        if os.path.isdir(path):
+            raise CLIError(f"document {path} is a directory, expected a file")
         if self.format == "xml":
             return xml_file_to_hdt(path)
         return json_file_to_hdt(path)
@@ -165,7 +192,7 @@ class Spec:
     def full_document(self) -> HDT:
         """The full dataset as a materialized tree (whole-tree mode)."""
         if self.get("document"):
-            return self._load_document(self.resolve(self.get("document")))
+            return self._load_document(self._document_path())
         if self.dataset_bundle is not None:
             return self.dataset_bundle.generate(self.get_int("scale", 5))
         raise CLIError('spec is missing required key "document"')
@@ -173,9 +200,7 @@ class Spec:
     def document_chunks(self, chunk_size: int):
         """The full dataset as a bounded-memory chunk stream."""
         if self.get("document"):
-            path = self.resolve(self.get("document"))
-            if not os.path.exists(path):
-                raise CLIError(f"document not found: {path}")
+            path = self._document_path()
             if self.format == "xml":
                 return iter_xml_chunks(path, chunk_size)
             return iter_json_chunks(path, chunk_size)
@@ -183,6 +208,27 @@ class Spec:
             return iter_tree_chunks(
                 self.dataset_bundle.generate(self.get_int("scale", 5)), chunk_size
             )
+        raise CLIError('spec is missing required key "document"')
+
+    def sharded_source(self):
+        """The full dataset as a :class:`~repro.runtime.sharded.ShardSource`.
+
+        A document path may name a single XML/JSON file *or a directory* of
+        documents (sharded execution is the one mode that accepts
+        directories); demo-mode datasets shard their materialized tree.
+        """
+        if self.get("document"):
+            path = self._document_path(allow_directory=True)
+            try:
+                fmt: Optional[str] = self.format
+            except CLIError:
+                fmt = None  # let shard_source infer from file extensions
+            try:
+                return make_shard_source(path, fmt)
+            except ShardError as error:
+                raise CLIError(str(error))
+        if self.dataset_bundle is not None:
+            return TreeSource(self.dataset_bundle.generate(self.get_int("scale", 5)))
         raise CLIError('spec is missing required key "document"')
 
 
@@ -257,39 +303,158 @@ def _learn_incrementally(
     return plan, f"{provenance}, store: {directory}"
 
 
-def _make_backend(args, spec: Spec) -> Tuple[ExecutionBackend, Optional[str]]:
+def _execution_mode(args, spec: Spec) -> Tuple[str, int]:
+    """Resolve (and validate) the execution mode: how the document is walked.
+
+    Returns ``("whole-tree" | "streaming" | "sharded", shards)``.  The three
+    modes are mutually exclusive; conflicting flag combinations are usage
+    errors, never silently reinterpreted.  CLI flags override spec keys.
+    """
+    if args.streaming and args.no_stream:
+        raise CLIError("--streaming conflicts with --no-stream: pick one")
+    if args.shards is not None:
+        if args.shards < 1:
+            raise CLIError(f"--shards must be >= 1 (got {args.shards})")
+        if args.no_stream:
+            raise CLIError(
+                "--shards executes the document in chunks by construction; "
+                "it conflicts with --no-stream"
+            )
+        if args.streaming:
+            raise CLIError(
+                "--streaming and --shards are different execution modes: pick one"
+            )
+        mode: Tuple[str, int] = ("sharded", args.shards)
+    elif args.streaming:
+        mode = ("streaming", 0)
+    elif args.no_stream:
+        mode = ("whole-tree", 0)
+    else:
+        spec_shards = spec.get_int("shards", 0)
+        spec_streaming = bool(spec.get("streaming"))
+        if spec_shards and spec_streaming:
+            raise CLIError(
+                'spec keys "streaming" and "shards" conflict: keep one '
+                "(or override with --streaming / --shards / --no-stream)"
+            )
+        if spec_shards < 0:
+            raise CLIError(f'spec key "shards" must be >= 1 (got {spec_shards})')
+        if spec_shards:
+            mode = ("sharded", spec_shards)
+        elif spec_streaming:
+            mode = ("streaming", 0)
+        else:
+            mode = ("whole-tree", 0)
+    if mode[0] == "whole-tree" and (args.chunk_size is not None or args.workers is not None):
+        raise CLIError("--chunk-size and --workers only apply with --streaming or --shards")
+    return mode
+
+
+def _prepare_output(output: str, kind: str, force: bool) -> None:
+    """Enforce the overwrite policy for a backend's output artifact.
+
+    ``--force`` removes the previous artifact entirely (file or directory
+    contents), so a rerun can never leave stale tables from an earlier run
+    next to the new output.
+    """
+    if not os.path.exists(output):
+        return
+    if kind == "file":
+        if os.path.isdir(output):
+            raise CLIError(f"output {output} is a directory, expected a file path")
+        if not force:
+            raise CLIError(f"output {output} already exists (use --force to overwrite)")
+        os.remove(output)
+        return
+    if not os.path.isdir(output):
+        raise CLIError(f"output {output} exists and is not a directory")
+    if os.listdir(output):
+        if not force:
+            raise CLIError(
+                f"output directory {output} is not empty (use --force to overwrite)"
+            )
+        shutil.rmtree(output)
+
+
+def _make_backend(args, spec: Spec) -> Tuple[ExecutionBackend, Optional[str], bool]:
+    """Build the storage backend; returns ``(backend, output, owns_output)``.
+
+    ``owns_output`` is true when the output artifact does not exist once the
+    overwrite policy has run (we are about to create it, or ``--force`` just
+    removed its predecessor) — the failure cleanup may delete the whole
+    artifact only in that case, never a pre-existing user directory.
+    """
     backend_name = args.backend or spec.get("backend", "memory")
-    if backend_name == "memory":
-        return MemoryBackend(), None
-    if backend_name == "sqlite":
-        output = args.output or spec.get("output")
-        if output is None:
-            raise CLIError('the sqlite backend needs an output path ("--output" or spec "output")')
+    if backend_name not in BACKEND_NAMES:
+        raise CLIError(
+            f"unknown backend {backend_name!r} (available: {', '.join(BACKEND_NAMES)})"
+        )
+    file_format = getattr(args, "columnar_format", None) or spec.get("columnar_format")
+    if file_format and backend_name != "columnar":
+        raise CLIError(
+            f"--columnar-format only applies to the columnar backend "
+            f"(got --backend {backend_name})"
+        )
+    output = args.output or spec.get("output")
+    output_kind = OUTPUT_KIND[backend_name]
+    if output_kind is None and output is not None:
+        raise CLIError(
+            "the memory backend produces no output artifact — drop "
+            '--output / spec "output", or pick --backend sqlite/columnar'
+        )
+    if output_kind is not None and output is None:
+        noun = "database path" if output_kind == "file" else "directory"
+        raise CLIError(
+            f'the {backend_name} backend needs an output {noun} '
+            f'("--output" or spec "output")'
+        )
+    options = {"file_format": file_format} if file_format else {}
+    owns_output = False
+    if output is not None:
         output = spec.resolve(output)
-        if os.path.exists(output):
-            if not args.force:
-                raise CLIError(f"output {output} already exists (use --force to overwrite)")
-            os.remove(output)
-        return SQLiteBackend(output), output
-    raise CLIError(f"unknown backend {backend_name!r} (available: memory, sqlite)")
+        _prepare_output(output, output_kind, args.force)
+        owns_output = not os.path.exists(output)
+    try:
+        return create_backend(backend_name, output, **options), output, owns_output
+    except (ValueError, ColumnarBackendError) as error:
+        raise CLIError(str(error))
 
 
 def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Optional[str]]:
     if plan.source_format and not spec.get("format") and not spec.get("dataset"):
         spec.default_format = plan.source_format
-    streaming = args.streaming or bool(spec.get("streaming"))
-    if not streaming and (args.chunk_size is not None or args.workers is not None):
-        raise CLIError("--chunk-size and --workers only apply with --streaming")
-    backend, output = _make_backend(args, spec)
+    mode, shards = _execution_mode(args, spec)
+    backend, output, owns_output = _make_backend(args, spec)
+    sql_dump = args.sql_dump or spec.get("sql_dump")
+    if sql_dump and isinstance(backend, ColumnarBackend):
+        raise CLIError(
+            "--sql-dump only applies to the memory and sqlite backends "
+            "(columnar output is not a SQL database)"
+        )
+    chunk_size = (
+        args.chunk_size
+        if args.chunk_size is not None
+        else spec.get_int("chunk_size", DEFAULT_CHUNK_SIZE)
+    )
+    if mode != "whole-tree" and chunk_size <= 0:
+        raise CLIError(f"--chunk-size must be positive (got {chunk_size})")
     try:
-        if streaming:
-            chunk_size = (
-                args.chunk_size
-                if args.chunk_size is not None
-                else spec.get_int("chunk_size", DEFAULT_CHUNK_SIZE)
+        if mode == "sharded":
+            if args.workers is not None:
+                workers: Optional[int] = args.workers
+            elif spec.get("workers") is not None:
+                workers = spec.get_int("workers", 0)
+            else:
+                workers = None  # default: one process per shard, up to CPU count
+            report = shard_execute(
+                plan,
+                spec.sharded_source(),
+                backend,
+                shards=shards,
+                chunk_size=chunk_size,
+                workers=workers,
             )
-            if chunk_size <= 0:
-                raise CLIError(f"--chunk-size must be positive (got {chunk_size})")
+        elif mode == "streaming":
             workers = args.workers if args.workers is not None else spec.get_int("workers", 0)
             report = stream_execute(
                 plan, spec.document_chunks(chunk_size), backend, workers=workers
@@ -297,21 +462,31 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
         else:
             report = execute_plan(plan, spec.full_document(), backend)
     except Exception:
-        # Never leave a partial output database behind: close the connection
-        # (releasing -wal/-shm siblings) and remove the incomplete file.
+        # Never leave a partial output behind: close the connection
+        # (releasing -wal/-shm siblings) and remove the incomplete file, or
+        # drop the half-filled columnar output so a retry is not blocked.
+        # A directory we did not create is preserved — only the files this
+        # run would have written inside it are removed.
         if isinstance(backend, SQLiteBackend):
             backend.close()
             if output and os.path.exists(output):
                 os.remove(output)
+        elif isinstance(backend, ColumnarBackend) and output:
+            if owns_output:
+                shutil.rmtree(output, ignore_errors=True)
+            elif os.path.isdir(output):
+                for name in backend.output_filenames():
+                    try:
+                        os.remove(os.path.join(output, name))
+                    except OSError:
+                        pass
         raise
     if isinstance(backend, SQLiteBackend):
-        sql_dump = args.sql_dump or spec.get("sql_dump")
         if sql_dump:
             with open(spec.resolve(sql_dump), "w", encoding="utf-8") as handle:
                 handle.write(backend.dump())
         backend.close()
     elif isinstance(backend, MemoryBackend):
-        sql_dump = args.sql_dump or spec.get("sql_dump")
         if sql_dump and backend.database is not None:
             with open(spec.resolve(sql_dump), "w", encoding="utf-8") as handle:
                 handle.write(generate_sql_dump(backend.database))
@@ -322,8 +497,10 @@ def _print_report(report: ExecutionReport, output: Optional[str]) -> None:
     for table, count in report.per_table_rows.items():
         print(f"  {table:28} {count:>10}")
     chunk_note = f" over {report.chunks} chunk(s)" if report.chunks > 1 else ""
+    shard_note = f" in {report.shards} shard(s)" if report.shards > 1 else ""
     print(
-        f"loaded {report.total_rows} rows in {report.execution_time:.2f}s{chunk_note}"
+        f"loaded {report.total_rows} rows in {report.execution_time:.2f}s"
+        f"{chunk_note}{shard_note}"
     )
     if output:
         print(f"database written to {output}")
@@ -351,6 +528,7 @@ def _cmd_learn(args) -> int:
 
 def _cmd_run(args) -> int:
     spec = Spec.load(args.spec)
+    _execution_mode(args, spec)  # usage errors before any plan work
     plan, provenance = _acquire_plan(args, spec, allow_learn=False)
     print(f"plan: {provenance}")
     report, output = _execute(args, spec, plan)
@@ -360,6 +538,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_migrate(args) -> int:
     spec = Spec.load(args.spec)
+    _execution_mode(args, spec)  # usage errors before paying for synthesis
     start = time.perf_counter()
     plan, provenance = _acquire_plan(args, spec, allow_learn=True)
     print(f"plan: {provenance} in {time.perf_counter() - start:.2f}s")
@@ -404,16 +583,45 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def add_execution(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--backend", choices=["memory", "sqlite"], help="storage backend")
-        sub.add_argument("--output", help="output database path (sqlite backend)")
-        sub.add_argument("--force", action="store_true", help="overwrite an existing output file")
-        sub.add_argument("--sql-dump", help="also write a SQL dump to this path")
+        sub.add_argument(
+            "--backend", choices=list(BACKEND_NAMES), help="storage backend"
+        )
+        sub.add_argument(
+            "--output",
+            help="output path: database file (sqlite) or directory (columnar)",
+        )
+        sub.add_argument("--force", action="store_true", help="overwrite an existing output")
+        sub.add_argument(
+            "--sql-dump", help="also write a SQL dump to this path (memory/sqlite)"
+        )
+        sub.add_argument(
+            "--columnar-format",
+            choices=list(FILE_FORMATS),
+            help="columnar file format (default: arrow with pyarrow, else json)",
+        )
         sub.add_argument(
             "--streaming", action="store_true", help="chunked bounded-memory execution"
         )
-        sub.add_argument("--chunk-size", type=int, help="records per chunk (streaming)")
         sub.add_argument(
-            "--workers", type=int, help="multiprocessing fan-out across chunks (streaming)"
+            "--no-stream",
+            action="store_true",
+            help="force whole-tree execution (overrides spec streaming/shards keys)",
+        )
+        sub.add_argument(
+            "--shards",
+            type=int,
+            help="sharded execution: split the document into N contiguous "
+            "record shards, execute them in worker processes and merge with "
+            "cross-shard key reconciliation (docs/backends.md)",
+        )
+        sub.add_argument(
+            "--chunk-size", type=int, help="records per chunk (streaming/sharded)"
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            help="worker processes (streaming: chunk fan-out; sharded: shard "
+            "pool, default one per shard up to the CPU count)",
         )
 
     learn = subparsers.add_parser(
@@ -447,6 +655,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         MigrationError,
         IntegrityError,
         SQLiteBackendError,
+        ColumnarBackendError,
+        ShardError,
         SerializationError,
         SchemaError,
     ) as error:

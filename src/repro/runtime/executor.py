@@ -1,19 +1,16 @@
-"""Plan execution against pluggable storage backends.
+"""Plan execution: the fused per-table pipeline and cross-batch merging.
 
 The runtime separates *what to compute* (a :class:`MigrationPlan`) from
-*where the rows go* (an :class:`ExecutionBackend`).  Two backends ship with
-the reproduction:
-
-* :class:`MemoryBackend` — the in-memory :class:`~repro.relational.database.Database`
-  used by the research pipeline (constraint checks on every insert);
-* :class:`~repro.runtime.sqlite_backend.SQLiteBackend` — a real SQLite
-  database with native key enforcement (see that module).
+*where the rows go* (an :class:`~repro.runtime.backends.base.ExecutionBackend`
+— see :mod:`repro.runtime.backends` for the protocol, the shipped
+memory/SQLite/columnar implementations and the name registry).
 
 :func:`execute_plan` is the whole-tree entry point: it runs every table's
 program with the cross-product-free optimizer, generates keys exactly as the
 one-shot engine does, and loads the backend in foreign-key dependency order.
 For bounded-memory execution over large documents use
-:func:`repro.runtime.streaming.stream_execute` instead.
+:func:`repro.runtime.streaming.stream_execute`; for multi-process fan-out
+over record shards use :func:`repro.runtime.sharded.shard_execute`.
 """
 
 from __future__ import annotations
@@ -33,48 +30,22 @@ from ..optimizer.optimize import ExecutionPlan, iter_execute_nodes
 from ..optimizer.optimize import plan as compile_program
 from ..relational.database import Database
 from ..relational.schema import DatabaseSchema, TableSchema
+from .backends.base import ExecutionBackend, Row
+from .backends.memory import MemoryBackend
 from .plan import MigrationPlan, TablePlan
 
-Row = Tuple[Scalar, ...]
-
-
-class ExecutionBackend:
-    """Where migrated rows are stored.
-
-    Lifecycle: ``begin(schema)`` once, ``insert_rows(table, rows)`` any number
-    of times (tables arrive in foreign-key dependency order), ``finalize()``
-    once.  Backends may buffer; only after ``finalize`` must all rows be
-    durable and constraint-checked.
-    """
-
-    def begin(self, schema: DatabaseSchema) -> None:
-        raise NotImplementedError
-
-    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
-        raise NotImplementedError
-
-    def finalize(self) -> None:
-        raise NotImplementedError
-
-
-class MemoryBackend(ExecutionBackend):
-    """Loads rows into the in-memory :class:`Database` (the research path)."""
-
-    def __init__(self, *, validate: bool = True) -> None:
-        self.validate = validate
-        self.database: Optional[Database] = None
-
-    def begin(self, schema: DatabaseSchema) -> None:
-        self.database = Database(schema)
-
-    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
-        assert self.database is not None, "begin() not called"
-        return self.database.insert_many(table, rows)
-
-    def finalize(self) -> None:
-        assert self.database is not None, "begin() not called"
-        if self.validate:
-            self.database.validate()
+__all__ = [
+    "ExecutionBackend",
+    "MemoryBackend",
+    "Row",
+    "ChunkMerger",
+    "ExecutionReport",
+    "compile_plan_executions",
+    "stream_table_rows",
+    "execute_plan",
+    "canonical_table_rows",
+    "canonical_database_rows",
+]
 
 
 @dataclass
@@ -196,6 +167,7 @@ class ExecutionReport:
     per_table_rows: Dict[str, int] = field(default_factory=dict)
     execution_time: float = 0.0
     chunks: int = 1
+    shards: int = 1
 
     @property
     def total_rows(self) -> int:

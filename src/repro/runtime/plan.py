@@ -17,6 +17,7 @@ ever touching the synthesizer again.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -92,6 +93,23 @@ class MigrationPlan:
     def execution_order(self) -> List[TableSchema]:
         """Table schemas in foreign-key dependency order."""
         return self.schema.topological_order()
+
+    def content_fingerprint(self) -> str:
+        """A stable digest of the plan's executable content.
+
+        Covers the schema, every program, the data columns and the key rules
+        — everything that determines what an execution produces — but not
+        free-form ``metadata`` or the generator version, so re-learning an
+        unchanged spec keeps the fingerprint stable.  The sharded runtime
+        stamps it into shard spill manifests so a reducer can never merge
+        worker output produced by a different plan
+        (:mod:`repro.runtime.sharded`).
+        """
+        payload = self.to_json()
+        payload.pop("metadata", None)
+        payload.pop("generator", None)
+        rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(rendered.encode("utf-8")).hexdigest()[:16]
 
     def restrict(self, table_names) -> "MigrationPlan":
         """A sub-plan migrating only the given tables.

@@ -1,0 +1,647 @@
+"""Sharded multi-process plan execution: partition → map → streaming reduce.
+
+:func:`~repro.runtime.streaming.stream_execute` bounds memory but executes
+chunks one at a time (its worker mode parallelizes chunk *execution*, yet
+every chunk's full row batches travel back to the parent, which performs all
+deduplication itself).  This module scales the run path across processes
+with a map/reduce shape instead:
+
+1. **Partition** — the document's records (the root's direct children, the
+   same unit the streaming layer chunks on) are split into ``shards``
+   *contiguous* ranges (:func:`partition_records`).  Contiguity is what
+   keeps output deterministic: shard-major order equals document order.
+2. **Map** — each shard executes in its own worker process: the shard's
+   records stream through the per-table fused pipeline
+   (:func:`~repro.runtime.executor.stream_table_rows`) into a *shard-local*
+   :class:`~repro.runtime.executor.ChunkMerger`, so intra-shard duplicates
+   are dropped and intra-shard surrogate keys reconciled before anything
+   leaves the worker.  Deduplicated rows spill to a per-shard file in
+   bounded batches; only a small manifest returns through the pool.
+3. **Reduce** — the parent replays the spill files *in shard order* through
+   a cross-shard ``ChunkMerger`` straight into the backend.  Because each
+   spilled batch is bounded and rows stream from disk into
+   ``backend.insert_rows``, no shard's full row set is ever materialized in
+   the parent; the parent's merge work is proportional to the already
+   deduplicated shard output, not to the raw document.
+
+The result is identical (canonical form — surrogate keys are process-local,
+see :func:`~repro.runtime.executor.canonical_table_rows`) to whole-tree and
+serial streamed execution, for the same record-local program class the
+streaming layer documents.
+
+Every spill file carries a begin header and an end manifest (shard index,
+plan fingerprint, per-table row counts).  A worker crash, a truncated file,
+or a spill produced by a different plan surfaces as :class:`ShardError` at
+reduce time — never as silently missing rows.
+
+Shardable inputs are wrapped as :class:`ShardSource`\\ s: an in-memory
+:class:`~repro.hdt.tree.HDT`, an XML or JSON document on disk, or a
+directory of documents (:func:`shard_source` picks the right one).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..hdt.tree import HDT
+from .backends.base import ExecutionBackend, Row
+from .backends.memory import MemoryBackend
+from .executor import (
+    ChunkMerger,
+    ExecutionReport,
+    compile_plan_executions,
+    stream_table_rows,
+)
+from .plan import MigrationPlan
+from .streaming import (
+    DEFAULT_CHUNK_SIZE,
+    Chunk,
+    count_json_records,
+    count_xml_records,
+    iter_json_chunks,
+    iter_tree_chunks,
+    iter_xml_chunks,
+)
+
+#: Rows per spilled batch — bounds both worker buffering and parent replay.
+SPILL_BATCH_ROWS = 4096
+
+_SPILL_MAGIC = "repro-shard-spill/1"
+
+
+class ShardError(Exception):
+    """Sharded execution failed: bad partitioning, corrupt or partial spills."""
+
+
+# --------------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's contiguous record window ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def records(self) -> int:
+        return self.stop - self.start
+
+
+def partition_records(total: int, shards: int) -> List[ShardSpec]:
+    """Split ``total`` records into ``shards`` contiguous, balanced ranges.
+
+    Always returns exactly ``shards`` specs; when there are fewer records
+    than shards the trailing specs are empty (a worker with an empty range
+    produces an empty — but still validated — spill).
+
+    >>> [(s.start, s.stop) for s in partition_records(10, 3)]
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if shards < 1:
+        raise ShardError(f"shards must be >= 1 (got {shards})")
+    if total < 0:
+        raise ShardError(f"record count must be >= 0 (got {total})")
+    base, remainder = divmod(total, shards)
+    specs: List[ShardSpec] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < remainder else 0)
+        specs.append(ShardSpec(index=index, start=start, stop=start + size))
+        start += size
+    return specs
+
+
+# --------------------------------------------------------------------------- #
+# Shardable sources
+# --------------------------------------------------------------------------- #
+
+
+class ShardSource:
+    """A document (or document set) that can be read by record range.
+
+    ``count_records()`` runs once in the parent to drive
+    :func:`partition_records`; ``iter_chunks(start, stop, chunk_size)`` runs
+    in each worker and must yield the records with document sequence numbers
+    in ``[start, stop)`` — with the same tags/positions they would have in a
+    whole-document parse, so shard boundaries are invisible to programs.
+    """
+
+    def count_records(self) -> int:
+        raise NotImplementedError
+
+    def iter_chunks(self, start: int, stop: int, chunk_size: int) -> Iterator[Chunk]:
+        raise NotImplementedError
+
+
+class TreeSource(ShardSource):
+    """Shard an already-materialized :class:`HDT` (tests, benchmarks, demo mode)."""
+
+    def __init__(self, tree: HDT) -> None:
+        self.tree = tree
+
+    def count_records(self) -> int:
+        return len(self.tree.root.children)
+
+    def iter_chunks(self, start: int, stop: int, chunk_size: int) -> Iterator[Chunk]:
+        return iter_tree_chunks(self.tree, chunk_size, record_range=(start, stop))
+
+
+class XMLSource(ShardSource):
+    """Shard an XML file.  Each worker re-parses incrementally, converting
+    only its own record window (positions stay whole-document)."""
+
+    def __init__(self, path: str, *, coerce_numbers: bool = True) -> None:
+        self.path = path
+        self.coerce_numbers = coerce_numbers
+
+    def count_records(self) -> int:
+        return count_xml_records(self.path)
+
+    def iter_chunks(self, start: int, stop: int, chunk_size: int) -> Iterator[Chunk]:
+        return iter_xml_chunks(
+            self.path,
+            chunk_size,
+            coerce_numbers=self.coerce_numbers,
+            record_range=(start, stop),
+        )
+
+
+class JSONSource(ShardSource):
+    """Shard a JSON document (path or already-decoded value)."""
+
+    def __init__(self, source: Union[str, list, dict]) -> None:
+        self.source = source
+
+    def count_records(self) -> int:
+        return count_json_records(self.source)
+
+    def iter_chunks(self, start: int, stop: int, chunk_size: int) -> Iterator[Chunk]:
+        return iter_json_chunks(self.source, chunk_size, record_range=(start, stop))
+
+
+class DocumentSetSource(ShardSource):
+    """Shard a *directory* of documents: their records, concatenated.
+
+    Files contribute records in the given (sorted) order; a shard is a
+    contiguous window of that concatenation, so one shard may span a file
+    boundary and a large file may be split across shards.  Records keep
+    their per-document tags and positions (each file is parsed as its own
+    document), and records of different files never share a chunk.
+    """
+
+    def __init__(self, paths: Sequence[str], fmt: str) -> None:
+        if fmt not in ("xml", "json"):
+            raise ShardError(f'document format must be "xml" or "json" (got {fmt!r})')
+        if not paths:
+            raise ShardError("document set is empty")
+        self.paths = list(paths)
+        self.fmt = fmt
+        self._counts: Optional[List[int]] = None
+
+    def _sources(self) -> List[ShardSource]:
+        if self.fmt == "xml":
+            return [XMLSource(path) for path in self.paths]
+        return [JSONSource(path) for path in self.paths]
+
+    def count_records(self) -> int:
+        if self._counts is None:
+            # Cached (and carried through pickling to the workers) so the
+            # per-file counting pass runs once, in the parent.
+            self._counts = [source.count_records() for source in self._sources()]
+        return sum(self._counts)
+
+    def iter_chunks(self, start: int, stop: int, chunk_size: int) -> Iterator[Chunk]:
+        self.count_records()
+        assert self._counts is not None
+        offset = 0
+        for source, count in zip(self._sources(), self._counts):
+            file_start, file_stop = max(start - offset, 0), min(stop - offset, count)
+            if file_start < file_stop:
+                yield from source.iter_chunks(file_start, file_stop, chunk_size)
+            offset += count
+            if offset >= stop:
+                break
+
+
+def shard_source(
+    source: Union[ShardSource, HDT, str], fmt: Optional[str] = None
+) -> ShardSource:
+    """Wrap a tree, a document path, or a directory as a :class:`ShardSource`.
+
+    For paths, ``fmt`` (``"xml"``/``"json"``) decides the parser; when
+    omitted it is inferred from the file extension.  A directory shards the
+    concatenation of its ``.xml``/``.json`` files in sorted name order.
+    """
+    if isinstance(source, ShardSource):
+        return source
+    if isinstance(source, HDT):
+        return TreeSource(source)
+    if not isinstance(source, str):
+        raise ShardError(f"cannot shard {type(source).__name__} objects")
+    if os.path.isdir(source):
+        by_format = {
+            kind: sorted(
+                name for name in os.listdir(source) if name.endswith("." + kind)
+            )
+            for kind in ("xml", "json")
+        }
+        if fmt is None:
+            present = [kind for kind, names in by_format.items() if names]
+            if len(present) > 1:
+                raise ShardError(
+                    f"directory {source} mixes .xml and .json documents; "
+                    f'pass fmt="xml" or fmt="json" to pick one set'
+                )
+            fmt = present[0] if present else None
+        names = by_format.get(fmt or "", [])
+        if not names:
+            raise ShardError(f"no shardable documents in directory {source}")
+        return DocumentSetSource([os.path.join(source, n) for n in names], fmt)
+    resolved = fmt or ("xml" if source.endswith(".xml") else "json" if source.endswith(".json") else None)
+    if resolved == "xml":
+        return XMLSource(source)
+    if resolved == "json":
+        return JSONSource(source)
+    raise ShardError(
+        f'cannot infer document format of {source!r}; pass fmt="xml" or fmt="json"'
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The spill protocol (worker → reducer)
+# --------------------------------------------------------------------------- #
+
+
+def _spill_path(directory: str, index: int) -> str:
+    return os.path.join(directory, f"shard-{index:05d}.spill")
+
+
+class SpillWriter:
+    """Append a shard's deduplicated row batches to its spill file.
+
+    Wire format: a pickle stream of messages — ``("begin", header)`` once,
+    any number of ``("rows", table, rows)`` batches (each at most
+    ``batch_rows`` rows, in worker processing order), and ``("end",
+    manifest)`` exactly once.  The end manifest repeats the per-table row
+    counts, which is what lets the reducer distinguish "shard finished with
+    few rows" from "worker died mid-write".
+    """
+
+    def __init__(
+        self,
+        path: str,
+        shard_index: int,
+        plan_fingerprint: str,
+        *,
+        batch_rows: int = SPILL_BATCH_ROWS,
+    ) -> None:
+        self.path = path
+        self.shard_index = shard_index
+        self.plan_fingerprint = plan_fingerprint
+        self.batch_rows = max(1, batch_rows)
+        self.per_table_rows: Dict[str, int] = {}
+        self.batches = 0
+        self._handle = open(path, "wb")
+        self._dump(
+            (
+                "begin",
+                {
+                    "magic": _SPILL_MAGIC,
+                    "shard": shard_index,
+                    "plan_fingerprint": plan_fingerprint,
+                },
+            )
+        )
+
+    def _dump(self, message) -> None:
+        pickle.dump(message, self._handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def write_rows(self, table: str, rows) -> int:
+        """Spill a row stream in bounded batches; returns the rows written."""
+        written = 0
+        batch: List[Row] = []
+        for row in rows:
+            batch.append(row)
+            if len(batch) >= self.batch_rows:
+                self._dump(("rows", table, batch))
+                self.batches += 1
+                written += len(batch)
+                batch = []
+        if batch:
+            self._dump(("rows", table, batch))
+            self.batches += 1
+            written += len(batch)
+        self.per_table_rows[table] = self.per_table_rows.get(table, 0) + written
+        return written
+
+    def finish(self, *, chunks: int, records: int) -> Dict[str, object]:
+        manifest: Dict[str, object] = {
+            "shard": self.shard_index,
+            "chunks": chunks,
+            "records": records,
+            "batches": self.batches,
+            "per_table_rows": dict(self.per_table_rows),
+        }
+        self._dump(("end", manifest))
+        self._handle.flush()
+        self._handle.close()
+        return manifest
+
+
+def iter_spill(
+    path: str, *, plan_fingerprint: str, shard_index: int
+) -> Iterator[Tuple[str, List[Row]]]:
+    """Replay a spill file's row batches, validating the framing as it goes.
+
+    Raises :class:`ShardError` — naming the shard and what is wrong — on a
+    missing file, a foreign or mismatched header, a truncated stream (no end
+    manifest), or per-table row counts that do not match the manifest.
+    Validation is interleaved with replay, so a truncation is detected even
+    though batches stream to the caller before the end marker is read.
+    """
+    where = f"shard {shard_index} spill {path}"
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise ShardError(f"{where} is missing: {error}") from error
+    counts: Dict[str, int] = {}
+    batches = 0
+    with handle:
+        try:
+            kind, header = pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, ValueError, TypeError) as error:
+            raise ShardError(f"{where} has no readable header: {error}") from error
+        if kind != "begin" or header.get("magic") != _SPILL_MAGIC:
+            raise ShardError(f"{where} is not a shard spill file")
+        if header.get("shard") != shard_index:
+            raise ShardError(
+                f"{where} belongs to shard {header.get('shard')}, expected {shard_index}"
+            )
+        if header.get("plan_fingerprint") != plan_fingerprint:
+            raise ShardError(
+                f"{where} was produced by a different plan "
+                f"({header.get('plan_fingerprint')} != {plan_fingerprint})"
+            )
+        while True:
+            try:
+                message = pickle.load(handle)
+            except EOFError as error:
+                raise ShardError(
+                    f"{where} is truncated: stream ended before the end-of-shard "
+                    f"manifest (worker died mid-write?)"
+                ) from error
+            except pickle.UnpicklingError as error:
+                raise ShardError(f"{where} is corrupt: {error}") from error
+            if message[0] == "rows":
+                _, table, rows = message
+                counts[table] = counts.get(table, 0) + len(rows)
+                batches += 1
+                yield table, rows
+                continue
+            if message[0] == "end":
+                manifest = message[1]
+                declared = {
+                    table: count
+                    for table, count in (manifest.get("per_table_rows") or {}).items()
+                    if count
+                }
+                if declared != counts or manifest.get("batches") != batches:
+                    raise ShardError(
+                        f"{where} row counts do not match its manifest "
+                        f"(replayed {counts}, manifest {manifest.get('per_table_rows')})"
+                    )
+                return
+            raise ShardError(f"{where} contains unknown message {message[0]!r}")
+
+
+# --------------------------------------------------------------------------- #
+# The map stage (runs in workers)
+# --------------------------------------------------------------------------- #
+
+
+def _surrogate_key_columns(schema) -> Dict[str, List[int]]:
+    """Per table: the column indices that carry *generated* surrogate keys.
+
+    That is the table's own primary key (unless natural-keyed) plus every
+    foreign-key column whose target table is surrogate-keyed — the same
+    column set :class:`ChunkMerger` rewrites through its alias table.
+    """
+    tables = {t.name: t for t in schema.tables}
+    columns: Dict[str, List[int]] = {}
+    for table in schema.tables:
+        names = table.column_names
+        indices = set()
+        if not table.natural_keys and table.primary_key is not None:
+            indices.add(names.index(table.primary_key))
+        for fk in table.foreign_keys:
+            if not tables[fk.target_table].natural_keys:
+                indices.add(names.index(fk.column))
+        if indices:
+            columns[table.name] = sorted(indices)
+    return columns
+
+
+def _namespace_keys(rows, prefix: str, indices: List[int]):
+    """Prefix a shard's generated keys so they are globally unique.
+
+    Surrogate keys concatenate node uids (``key_of``), and uids come from a
+    process-wide counter — forked workers start from the same counter value,
+    so two shards can mint the *same* key for *different* rows.  Keys are
+    opaque and process-arbitrary by design (parity is canonical, see
+    ``canonical_table_rows``), and at spill time every foreign-key reference
+    still points within its own shard, so prefixing the shard index onto
+    each generated key (and each reference to one) restores uniqueness
+    without touching the reconciliation mechanics.
+    """
+    for row in rows:
+        values = list(row)
+        for index in indices:
+            value = values[index]
+            if value is not None:
+                values[index] = prefix + value
+        yield tuple(values)
+
+
+def execute_shard(
+    plan: MigrationPlan,
+    source: ShardSource,
+    spec: ShardSpec,
+    *,
+    chunk_size: int,
+    spill_path: str,
+    plan_fingerprint: Optional[str] = None,
+    executions=None,
+) -> Dict[str, object]:
+    """Execute one shard's record window and spill its deduplicated rows.
+
+    The shard runs exactly like serial :func:`~repro.runtime.streaming.
+    stream_execute` over its chunks — per-table fused pipelines through a
+    shard-local :class:`ChunkMerger` — except rows land in the spill file
+    instead of a backend.  Returns the end manifest.
+    """
+    if executions is None:
+        executions = compile_plan_executions(plan)
+    if plan_fingerprint is None:
+        plan_fingerprint = plan.content_fingerprint()
+    merger = ChunkMerger(plan.schema)
+    order = plan.execution_order()
+    key_columns = _surrogate_key_columns(plan.schema)
+    key_prefix = f"s{spec.index}:"
+    writer = SpillWriter(spill_path, spec.index, plan_fingerprint)
+    chunks = 0
+    records = 0
+    for chunk in source.iter_chunks(spec.start, spec.stop, chunk_size):
+        for table_schema in order:
+            table_plan = plan.table_plan(table_schema.name)
+            key_aliases: Dict[str, str] = {}
+            rows = stream_table_rows(
+                table_schema,
+                table_plan,
+                chunk.tree,
+                merger,
+                key_aliases,
+                execution=executions[table_schema.name],
+            )
+            indices = key_columns.get(table_schema.name)
+            if indices:
+                rows = _namespace_keys(rows, key_prefix, indices)
+            writer.write_rows(table_schema.name, rows)
+            merger.absorb_aliases(table_schema.name, key_aliases)
+        chunks += 1
+        records += chunk.records
+    return writer.finish(chunks=chunks, records=records)
+
+
+# The plan/source are invariant across a worker's shards; ship them once via
+# the pool initializer and compile the plan's programs once per worker.
+_WORKER_STATE: dict = {}
+
+
+def _init_shard_worker(plan, source, chunk_size, spill_dir, fingerprint) -> None:
+    _WORKER_STATE.update(
+        plan=plan,
+        source=source,
+        chunk_size=chunk_size,
+        spill_dir=spill_dir,
+        fingerprint=fingerprint,
+        executions=compile_plan_executions(plan),
+    )
+
+
+def _run_shard_task(spec: ShardSpec) -> Dict[str, object]:
+    state = _WORKER_STATE
+    assert state, "shard worker pool was not initialized"
+    return execute_shard(
+        state["plan"],
+        state["source"],
+        spec,
+        chunk_size=state["chunk_size"],
+        spill_path=_spill_path(state["spill_dir"], spec.index),
+        plan_fingerprint=state["fingerprint"],
+        executions=state["executions"],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The reduce stage + driver
+# --------------------------------------------------------------------------- #
+
+
+def shard_execute(
+    plan: MigrationPlan,
+    source: Union[ShardSource, HDT, str],
+    backend: Optional[ExecutionBackend] = None,
+    *,
+    shards: int = 2,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+) -> ExecutionReport:
+    """Execute a plan over record shards in parallel processes.
+
+    ``workers`` caps the process pool (default: one per shard, bounded by
+    the CPU count; ``0``/``1`` executes the shards in-process, still through
+    the full spill/reduce protocol — useful for tests and for machines where
+    fork is expensive).  ``spill_dir`` keeps the per-shard spill files in a
+    caller-managed directory; by default a temporary directory is used and
+    removed when execution finishes.
+
+    Examples
+    --------
+    >>> from repro.datasets import dblp
+    >>> from repro.runtime import MigrationPlan, shard_execute
+    >>> bundle = dblp.dataset(scale=2)
+    >>> plan = MigrationPlan.learn(bundle.migration_spec())
+    >>> report = shard_execute(plan, bundle.generate(2), shards=2, workers=1)
+    >>> report.total_rows, report.shards
+    (30, 2)
+    """
+    resolved = shard_source(source)
+    if chunk_size <= 0:
+        raise ShardError(f"chunk_size must be positive (got {chunk_size})")
+    backend = backend if backend is not None else MemoryBackend()
+    start = time.perf_counter()
+    specs = partition_records(resolved.count_records(), shards)
+    fingerprint = plan.content_fingerprint()
+    own_spill_dir = spill_dir is None
+    directory = spill_dir if spill_dir is not None else tempfile.mkdtemp(prefix="repro-shards-")
+    os.makedirs(directory, exist_ok=True)
+    if workers is None:
+        workers = min(len(specs), os.cpu_count() or 1)
+    report = ExecutionReport(backend=backend, chunks=0, shards=len(specs))
+    report.per_table_rows = {t.name: 0 for t in plan.schema.tables}
+    try:
+        # Map: fill the spill files (parallel across shards).
+        if workers > 1:
+            with multiprocessing.Pool(
+                processes=min(workers, len(specs)),
+                initializer=_init_shard_worker,
+                initargs=(plan, resolved, chunk_size, directory, fingerprint),
+            ) as pool:
+                manifests = pool.map(_run_shard_task, specs)
+        else:
+            executions = compile_plan_executions(plan)
+            manifests = [
+                execute_shard(
+                    plan,
+                    resolved,
+                    spec,
+                    chunk_size=chunk_size,
+                    spill_path=_spill_path(directory, spec.index),
+                    plan_fingerprint=fingerprint,
+                    executions=executions,
+                )
+                for spec in specs
+            ]
+        report.chunks = sum(int(m["chunks"]) for m in manifests)
+        # Reduce: replay spills in shard order through the cross-shard
+        # merger, streaming batch by batch into the backend.
+        backend.begin(plan.schema)
+        merger = ChunkMerger(plan.schema)
+        for spec in specs:
+            replay = iter_spill(
+                _spill_path(directory, spec.index),
+                plan_fingerprint=fingerprint,
+                shard_index=spec.index,
+            )
+            for table, rows in replay:
+                report.per_table_rows[table] += backend.insert_rows(
+                    table, merger.iter_merge(table, rows)
+                )
+        backend.finalize()
+    finally:
+        if own_spill_dir:
+            shutil.rmtree(directory, ignore_errors=True)
+    report.execution_time = time.perf_counter() - start
+    return report

@@ -87,11 +87,24 @@ class Chunk:
 # --------------------------------------------------------------------------- #
 
 
+def _normalize_record_range(
+    record_range: Optional[Tuple[int, int]],
+) -> Tuple[int, Optional[int]]:
+    """Validate a ``(start, stop)`` record range; ``None`` means everything."""
+    if record_range is None:
+        return 0, None
+    start, stop = record_range
+    if start < 0 or stop < start:
+        raise ValueError(f"invalid record range {record_range!r}")
+    return start, stop
+
+
 def iter_xml_chunks(
     source: Union[str, IO],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     *,
     coerce_numbers: bool = True,
+    record_range: Optional[Tuple[int, int]] = None,
 ) -> Iterator[Chunk]:
     """Incrementally parse an XML file into record chunks.
 
@@ -105,9 +118,16 @@ def iter_xml_chunks(
     not fully available until the document ends.  Parsed elements are
     discarded as soon as they are converted, so peak memory is one chunk,
     not one document.
+
+    ``record_range=(start, stop)`` restricts the output to records with
+    document sequence numbers in ``[start, stop)`` — the unit the sharded
+    runtime partitions on.  Skipped records are still parsed (and counted,
+    so per-tag positions stay whole-document) but never converted to nodes,
+    and parsing stops early once ``stop`` is reached.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    start_record, stop_record = _normalize_record_range(record_range)
     context = ET.iterparse(source, events=("start", "end"))
     depth = 0
     document_root: Optional[ET.Element] = None
@@ -116,6 +136,7 @@ def iter_xml_chunks(
     tag_counts: Dict[str, int] = {}
     records: List[Node] = []
     index = 0
+    sequence = 0
     for event, element in context:
         if event == "start":
             depth += 1
@@ -132,7 +153,12 @@ def iter_xml_chunks(
             continue
         pos = tag_counts.get(element.tag, 0)
         tag_counts[element.tag] = pos + 1
-        records.append(element_to_node(element, pos, coerce_numbers=coerce_numbers))
+        in_range = sequence >= start_record and (
+            stop_record is None or sequence < stop_record
+        )
+        sequence += 1
+        if in_range:
+            records.append(element_to_node(element, pos, coerce_numbers=coerce_numbers))
         element.clear()
         if document_root is not None:
             # Drop the (now empty) element from the root so the ElementTree
@@ -145,13 +171,46 @@ def iter_xml_chunks(
             yield _make_chunk(root_tag, records, index, extras=root_extras)
             records = []
             index += 1
+        if stop_record is not None and sequence >= stop_record:
+            break
     if records:
         yield _make_chunk(root_tag, records, index, extras=root_extras)
+
+
+def count_xml_records(source: Union[str, IO]) -> int:
+    """Count an XML document's records (root's direct children), incrementally.
+
+    The cheap first pass of sharded execution: elements are discarded as soon
+    as they close, so the count runs in bounded memory like
+    :func:`iter_xml_chunks` does.
+    """
+    context = ET.iterparse(source, events=("start", "end"))
+    depth = 0
+    count = 0
+    root: Optional[ET.Element] = None
+    for event, element in context:
+        if event == "start":
+            depth += 1
+            if root is None:
+                root = element
+            continue
+        depth -= 1
+        if depth == 1:
+            count += 1
+            element.clear()
+            if root is not None:
+                try:
+                    root.remove(element)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+    return count
 
 
 def iter_json_chunks(
     source: Union[str, IO, list, dict],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    record_range: Optional[Tuple[int, int]] = None,
 ) -> Iterator[Chunk]:
     """Chunk a JSON document by its top-level records.
 
@@ -160,14 +219,21 @@ def iter_json_chunks(
     element (tag ``item``, array positions preserved); a top-level object
     contributes one record per key/value pair, with array values flattened
     into repeated same-tag records exactly as :func:`repro.hdt.json_to_hdt`
-    flattens them.
+    flattens them.  ``record_range=(start, stop)`` restricts the output to
+    the records with sequence numbers in ``[start, stop)``; skipped records
+    are never converted to node structures.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    start_record, stop_record = _normalize_record_range(record_range)
     value = _decode_json_source(source)
     records: List[Node] = []
     index = 0
-    for tag, pos, item in _iter_json_records(value):
+    for sequence, (tag, pos, item) in enumerate(_iter_json_records(value)):
+        if stop_record is not None and sequence >= stop_record:
+            break
+        if sequence < start_record:
+            continue
         records.append(json_value_to_node(tag, pos, item))
         if len(records) >= chunk_size:
             yield _make_chunk(ROOT_TAG, records, index)
@@ -177,18 +243,34 @@ def iter_json_chunks(
         yield _make_chunk(ROOT_TAG, records, index)
 
 
-def iter_tree_chunks(tree: HDT, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[Chunk]:
+def count_json_records(source: Union[str, IO, list, dict]) -> int:
+    """Count a JSON document's records as :func:`iter_json_chunks` defines them."""
+    return sum(1 for _ in _iter_json_records(_decode_json_source(source)))
+
+
+def iter_tree_chunks(
+    tree: HDT,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    record_range: Optional[Tuple[int, int]] = None,
+) -> Iterator[Chunk]:
     """Chunk an already-materialized HDT by cloning its record subtrees.
 
     The source tree is left untouched (records are deep-cloned into each
     chunk), which makes this iterator suitable for comparing streaming and
-    whole-tree execution on the same document.
+    whole-tree execution on the same document.  ``record_range=(start,
+    stop)`` clones only the records in that window.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    start_record, stop_record = _normalize_record_range(record_range)
     records: List[Node] = []
     index = 0
-    for child in tree.root.children:
+    for sequence, child in enumerate(tree.root.children):
+        if stop_record is not None and sequence >= stop_record:
+            break
+        if sequence < start_record:
+            continue
         records.append(clone_subtree(child))
         if len(records) >= chunk_size:
             yield _make_chunk(tree.root.tag, records, index)

@@ -1,0 +1,157 @@
+"""Tests for the columnar execution backend and the backend registry."""
+
+import json
+import os
+
+import pytest
+
+from repro.datasets import dblp
+from repro.runtime import MemoryBackend, MigrationPlan, execute_plan
+from repro.runtime.backends import (
+    HAVE_PYARROW,
+    ColumnarBackend,
+    ColumnarBackendError,
+    available_backends,
+    create_backend,
+    load_table_rows,
+)
+from repro.runtime.backends.columnar import MANIFEST_NAME
+from repro.relational import ColumnDef, DatabaseSchema, TableSchema
+
+
+@pytest.fixture(scope="module")
+def dblp_plan():
+    return MigrationPlan.learn(dblp.dataset(scale=3).migration_spec())
+
+
+def _simple_schema():
+    return DatabaseSchema(
+        name="db",
+        tables=[
+            TableSchema(
+                "t",
+                [ColumnDef("a", "text"), ColumnDef("n", "integer")],
+                natural_keys=True,
+            )
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# In-memory batches
+# --------------------------------------------------------------------------- #
+
+
+def test_columnar_matches_memory_backend(dblp_plan):
+    document = dblp.dataset(scale=10).generate(10)
+    memory = execute_plan(dblp_plan, document, MemoryBackend()).backend
+    columnar = execute_plan(dblp_plan, document, ColumnarBackend()).backend
+    for table in dblp_plan.schema.table_names:
+        # Both store Python values verbatim, so rows agree exactly —
+        # including surrogate keys (same process, same node uids).
+        assert columnar.fetch_rows(table) == memory.fetch_rows(table)
+        assert columnar.row_count(table) == len(memory.fetch_rows(table))
+
+
+def test_batch_sealing():
+    backend = ColumnarBackend(batch_size=3)
+    backend.begin(_simple_schema())
+    assert backend.insert_rows("t", [("r%d" % i, i) for i in range(8)]) == 8
+    # Mid-execution reads include the open batch.
+    assert len(backend.fetch_rows("t")) == 8
+    backend.finalize()
+    batches = backend.batches("t")
+    assert [b.num_rows for b in batches] == [3, 3, 2]
+    assert [row for b in batches for row in b.rows()] == backend.fetch_rows("t")
+
+
+def test_insert_arity_mismatch_and_unknown_table():
+    backend = ColumnarBackend()
+    backend.begin(_simple_schema())
+    with pytest.raises(ColumnarBackendError, match="arity"):
+        backend.insert_rows("t", [("only-one-cell",)])
+    with pytest.raises(ColumnarBackendError, match="unknown table"):
+        backend.insert_rows("nope", [("a", 1)])
+
+
+def test_finalize_requires_begin():
+    with pytest.raises(ColumnarBackendError, match="begin"):
+        ColumnarBackend().finalize()
+
+
+# --------------------------------------------------------------------------- #
+# File output: JSON-columns fallback (always available)
+# --------------------------------------------------------------------------- #
+
+
+def test_json_columns_roundtrip(tmp_path):
+    out = str(tmp_path / "out")
+    backend = ColumnarBackend(out, batch_size=2, file_format="json")
+    backend.begin(_simple_schema())
+    rows = [("a", 1), ("b", 2), ("c", None)]
+    backend.insert_rows("t", rows)
+    backend.finalize()
+    manifest = json.loads(open(os.path.join(out, MANIFEST_NAME)).read())
+    assert manifest["format"] == "json"
+    assert manifest["tables"]["t"]["rows"] == 3
+    assert manifest["tables"]["t"]["columns"] == ["a", "n"]
+    assert load_table_rows(out, "t") == rows
+    with pytest.raises(ColumnarBackendError, match="not in"):
+        load_table_rows(out, "unknown")
+
+
+def test_load_table_rows_without_manifest(tmp_path):
+    with pytest.raises(ColumnarBackendError, match="cannot read"):
+        load_table_rows(str(tmp_path), "t")
+
+
+def test_default_format_matches_environment():
+    assert ColumnarBackend().file_format == ("arrow" if HAVE_PYARROW else "json")
+
+
+def test_unknown_file_format_rejected():
+    with pytest.raises(ColumnarBackendError, match="unknown file format"):
+        ColumnarBackend(file_format="orc")
+
+
+@pytest.mark.skipif(HAVE_PYARROW, reason="pyarrow installed: arrow formats work")
+def test_arrow_formats_fail_early_without_pyarrow():
+    for fmt in ("arrow", "parquet"):
+        with pytest.raises(ColumnarBackendError, match="needs pyarrow"):
+            ColumnarBackend(file_format=fmt)
+
+
+@pytest.mark.skipif(not HAVE_PYARROW, reason="pyarrow not installed")
+@pytest.mark.parametrize("fmt", ["arrow", "parquet"])
+def test_arrow_family_roundtrip(tmp_path, fmt):  # pragma: no cover - needs pyarrow
+    out = str(tmp_path / fmt)
+    backend = ColumnarBackend(out, batch_size=2, file_format=fmt)
+    backend.begin(_simple_schema())
+    rows = [("a", 1), ("b", 2), ("c", None)]
+    backend.insert_rows("t", rows)
+    backend.finalize()
+    assert load_table_rows(out, "t") == rows
+
+
+# --------------------------------------------------------------------------- #
+# The registry
+# --------------------------------------------------------------------------- #
+
+
+def test_registry_names_and_dispatch(tmp_path):
+    assert available_backends() == ("memory", "sqlite", "columnar")
+    assert type(create_backend("memory")).__name__ == "MemoryBackend"
+    sqlite = create_backend("sqlite", str(tmp_path / "x.db"))
+    assert type(sqlite).__name__ == "SQLiteBackend"
+    columnar = create_backend("columnar", str(tmp_path / "dir"), batch_size=4)
+    assert isinstance(columnar, ColumnarBackend)
+    assert columnar.batch_size == 4
+
+
+def test_registry_rejects_bad_combinations(tmp_path):
+    with pytest.raises(ValueError, match="unknown backend"):
+        create_backend("duckdb")
+    with pytest.raises(ValueError, match="no output path"):
+        create_backend("memory", str(tmp_path / "x"))
+    with pytest.raises(ValueError, match="needs an output path"):
+        create_backend("sqlite")

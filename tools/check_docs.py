@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Documentation checks: dead links and CLI --help snapshots.
+"""Documentation checks: dead links, required anchors, CLI --help snapshots.
 
-Two guards keep the docs/ site honest (CI job ``docs-check``):
+Three guards keep the docs/ site honest (CI job ``docs-check``):
 
 1. **Dead links** — every relative markdown link in ``docs/*.md`` and
    ``README.md`` must resolve to an existing file, and every ``#anchor``
    must match a heading of the target page (GitHub slug rules).
-2. **Help snapshots** — the ``--help`` output of ``python -m repro`` and
+2. **Required anchors** — load-bearing section anchors (listed in
+   ``REQUIRED_ANCHORS``) must keep existing even if no in-repo page links
+   to them at the moment: external docs, CLI ``--help`` text and commit
+   messages reference them, so renaming a heading silently strands readers.
+   The backends/operations chapter is the first page pinned this way.
+3. **Help snapshots** — the ``--help`` output of ``python -m repro`` and
    each subcommand is snapshotted under ``docs/help/``; the check re-runs
    the CLI and diffs, so the CLI reference can never drift from the code.
 
@@ -34,6 +39,18 @@ HELP_SNAPSHOTS = {
     "repro-learn.txt": ["learn", "--help"],
     "repro-run.txt": ["run", "--help"],
     "repro-migrate.txt": ["migrate", "--help"],
+}
+
+#: Section anchors that must exist on a page, link or no link.  Keys are
+#: repo-relative markdown paths; values are GitHub anchor slugs.
+REQUIRED_ANCHORS = {
+    "docs/backends.md": [
+        "the-backend-protocol",
+        "the-shipped-backends",
+        "shardreduce-dataflow",
+        "cross-shard-key-reconciliation",
+        "choosing-a-backend",
+    ],
 }
 
 LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -88,6 +105,19 @@ def check_links():
             if anchor and resolved.endswith(".md"):
                 if github_slug(anchor) not in anchors_of(resolved):
                     errors.append(f"{relative}: dead anchor -> {target}")
+
+    for relative, required in sorted(REQUIRED_ANCHORS.items()):
+        path = os.path.join(REPO_ROOT, relative)
+        if not os.path.exists(path):
+            errors.append(f"{relative}: required page is missing")
+            continue
+        present = anchors_of(path)
+        for slug in required:
+            if slug not in present:
+                errors.append(
+                    f"{relative}: required anchor #{slug} is stale or missing "
+                    f"(a heading was renamed or removed)"
+                )
     return errors
 
 
