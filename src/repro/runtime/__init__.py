@@ -25,9 +25,14 @@ ROADMAP's north star asks for:
 * :mod:`repro.runtime.sharded` — multi-process map/reduce execution:
   contiguous record shards, per-shard dedup in workers, a streaming
   cross-shard reducer, validated spill files;
-* :mod:`repro.runtime.cli` — ``python -m repro learn|run|migrate``
+* :mod:`repro.runtime.verify` — post-run verification: row-count and
+  PK/FK-integrity invariants re-derived against the produced target;
+* :mod:`repro.runtime.service` — the ``repro serve`` daemon: an HTTP/JSON
+  job API with warm plan caches, per-job shard checkpoints and
+  resume-after-crash semantics (see ``docs/service.md``);
+* :mod:`repro.runtime.cli` — ``python -m repro learn|run|migrate|verify|serve``
   (``--incremental``, ``--jobs``, ``--streaming``, ``--shards``,
-  ``--backend``, ...).
+  ``--backend``, ``--dry-run``, ``--resume``, ...).
 
 The full architecture is documented in ``docs/runtime.md``.
 
@@ -68,12 +73,22 @@ from .context_store import ContextStore, SpecSnapshot
 from .incremental import IncrementalReport, learn_incremental
 from .plan import MigrationPlan, TablePlan
 from .plan_cache import PlanCache, spec_fingerprint
+from .backends.null import NullBackend
 from .sharded import (
     ShardError,
     ShardSpec,
     partition_records,
     shard_execute,
     shard_source,
+    validate_spill,
+)
+from .verify import (
+    TableCheck,
+    VerificationError,
+    VerificationReport,
+    read_target_rows,
+    verify_backend,
+    verify_rows,
 )
 from .spec_diff import SpecDiff, TableChange, diff_specs, reusable_plans
 from .streaming import (
@@ -96,11 +111,19 @@ __all__ = [
     "ColumnarBackendError",
     "available_backends",
     "create_backend",
+    "NullBackend",
     "ShardError",
     "ShardSpec",
     "partition_records",
     "shard_execute",
     "shard_source",
+    "validate_spill",
+    "TableCheck",
+    "VerificationError",
+    "VerificationReport",
+    "read_target_rows",
+    "verify_backend",
+    "verify_rows",
     "count_json_records",
     "count_xml_records",
     "canonical_database_rows",

@@ -28,6 +28,7 @@ from .columnar import (
     load_table_rows,
 )
 from .memory import MemoryBackend
+from .null import NullBackend
 from .sqlite import (
     SQLiteBackend,
     SQLiteBackendError,
@@ -75,6 +76,7 @@ __all__ = [
     "ExecutionBackend",
     "Row",
     "MemoryBackend",
+    "NullBackend",
     "SQLiteBackend",
     "SQLiteBackendError",
     "database_matches_sqlite",

@@ -273,6 +273,29 @@ def _write_json_columns(path: str, buffer: _TableBuffer) -> None:
         handle.write("\n")
 
 
+def read_table_rows(directory: str, schema: DatabaseSchema) -> Dict[str, List[Row]]:
+    """Read a finished columnar target back for verification.
+
+    The read-side hook mirroring :func:`repro.runtime.backends.sqlite.
+    read_table_rows`: every schema table present in the output manifest is
+    loaded via :func:`load_table_rows`; tables absent from the manifest are
+    omitted (the verifier reports them as failures).  A missing or corrupt
+    manifest raises :class:`ColumnarBackendError`.
+    """
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ColumnarBackendError(f"cannot read {manifest_path}: {error}") from error
+    present = manifest.get("tables", {})
+    return {
+        table.name: load_table_rows(directory, table.name)
+        for table in schema.tables
+        if table.name in present
+    }
+
+
 def load_table_rows(directory: str, table: str) -> List[Row]:
     """Read one table of a columnar output directory back as row tuples.
 

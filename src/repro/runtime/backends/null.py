@@ -1,0 +1,58 @@
+"""The null backend: count rows, store nothing — the ``--dry-run`` target.
+
+A dry run executes the full migration pipeline (planning, joins, key
+generation, cross-chunk/shard merging — everything that determines *what*
+would be written) but lands the rows in this backend, which only counts
+them.  The resulting :class:`~repro.runtime.executor.ExecutionReport`
+carries the exact per-table row counts of a real run, with no output
+artifact touched.
+
+The same counting pass is what ``repro verify`` uses to *re-derive* the
+expected row counts of a finished migration from its source document
+(:mod:`repro.runtime.verify`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ...relational.schema import DatabaseSchema
+from .base import ExecutionBackend, Row
+
+
+class NullBackend(ExecutionBackend):
+    """Drains row streams and records per-table counts; stores no rows.
+
+    Deliberately not registered under a ``--backend`` name: it is reached
+    through ``--dry-run`` (and the verifier), where the intent "do not
+    write" is explicit.
+    """
+
+    def __init__(self) -> None:
+        self.schema: Optional[DatabaseSchema] = None
+        self.counts: Dict[str, int] = {}
+
+    def begin(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self.counts = {table.name: 0 for table in schema.tables}
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        if table not in self.counts:
+            raise RuntimeError(f"unknown table {table!r} (begin() not called?)")
+        inserted = 0
+        for _ in rows:
+            inserted += 1
+        self.counts[table] += inserted
+        return inserted
+
+    def finalize(self) -> None:
+        if self.schema is None:
+            raise RuntimeError("begin() was not called")
+
+    def fetch_rows(self, table: str) -> List[Row]:
+        raise RuntimeError(
+            "the null (dry-run) backend stores no rows; only counts are available"
+        )
+
+    def row_count(self, table: str) -> int:
+        return self.counts[table]

@@ -22,6 +22,7 @@ SQLite table row-for-row (in insertion order).
 
 from __future__ import annotations
 
+import os
 import sqlite3
 from typing import Dict, Iterable, List, Optional
 
@@ -163,6 +164,44 @@ class SQLiteBackend(ExecutionBackend):
         if self.connection is None:
             raise SQLiteBackendError("begin() was not called")
         return "\n".join(self.connection.iterdump()) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# Read-side verification hook
+# --------------------------------------------------------------------------- #
+
+
+def read_table_rows(path: str, schema: DatabaseSchema) -> Dict[str, List[Row]]:
+    """Read a finished SQLite target back for verification, read-only.
+
+    Opens the database in read-only mode (``mode=ro`` — verification must
+    never be able to modify the artifact it checks) and returns each
+    schema table's rows in insertion (rowid) order.  Tables missing from
+    the file are *omitted* from the result — the verifier reports them as
+    failures; a missing or unopenable database raises
+    :class:`SQLiteBackendError`.
+    """
+    if not os.path.exists(path):
+        raise SQLiteBackendError(f"sqlite target not found: {path}")
+    try:
+        connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    except sqlite3.Error as error:
+        raise SQLiteBackendError(f"cannot open sqlite target {path}: {error}") from error
+    rows: Dict[str, List[Row]] = {}
+    try:
+        for table_schema in schema.tables:
+            columns = ", ".join(quote_identifier(c) for c in table_schema.column_names)
+            try:
+                cursor = connection.execute(
+                    f"SELECT {columns} FROM {quote_identifier(table_schema.name)} "
+                    f"ORDER BY rowid"
+                )
+                rows[table_schema.name] = [tuple(row) for row in cursor.fetchall()]
+            except sqlite3.OperationalError:
+                continue  # table (or a column) missing: the verifier reports it
+    finally:
+        connection.close()
+    return rows
 
 
 # --------------------------------------------------------------------------- #

@@ -1,12 +1,21 @@
 """Command-line interface: ``python -m repro`` / the ``repro-migrate`` script.
 
-Three subcommands cover the learn/run split that makes synthesized programs
-durable artifacts:
+Five subcommands cover the learn/run split that makes synthesized programs
+durable artifacts, plus the operational surface around it:
 
 * ``learn``   — synthesize a :class:`MigrationPlan` from a spec (cached on
   disk keyed by the spec fingerprint) and optionally save it to a file;
 * ``run``     — execute an existing plan on a dataset, no synthesis;
-* ``migrate`` — learn (or load from cache) and run in one invocation.
+* ``migrate`` — learn (or load from cache) and run in one invocation;
+* ``verify``  — re-check a finished target: row counts, primary-key and
+  foreign-key integrity (``docs/service.md``);
+* ``serve``   — the migration service daemon: an HTTP/JSON job API with
+  resumable, dry-runnable, verifiable jobs (``docs/service.md``).
+
+``run`` and ``migrate`` also take ``--dry-run`` (count rows, write nothing),
+``--report-json`` (machine-readable execution report), and — for sharded
+execution — ``--checkpoint-dir``/``--resume`` to restart an interrupted run
+at the first unfinished shard.
 
 Everything is driven by a JSON *spec file*:
 
@@ -64,11 +73,14 @@ from .backends import (
     create_backend,
 )
 from .backends.columnar import FILE_FORMATS
+from .backends.null import NullBackend
 from .executor import ExecutionReport, execute_plan
 from .plan import MigrationPlan
 from .plan_cache import DEFAULT_CACHE_DIR, PlanCache
+from .service.checkpoint import ShardCheckpoint
 from .sharded import ShardError, TreeSource, shard_execute
 from .sharded import shard_source as make_shard_source
+from .verify import VerificationError, read_target_rows, verify_rows
 from .streaming import (
     DEFAULT_CHUNK_SIZE,
     iter_json_chunks,
@@ -383,7 +395,27 @@ def _make_backend(args, spec: Spec) -> Tuple[ExecutionBackend, Optional[str], bo
     overwrite policy has run (we are about to create it, or ``--force`` just
     removed its predecessor) — the failure cleanup may delete the whole
     artifact only in that case, never a pre-existing user directory.
+
+    ``--dry-run`` short-circuits everything: the plan executes into the
+    counting :class:`NullBackend`, so spec ``backend``/``output`` keys are
+    ignored and the conflicting *flags* are usage errors.
     """
+    if getattr(args, "dry_run", False):
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--backend", args.backend),
+                ("--output", args.output),
+                ("--sql-dump", args.sql_dump),
+            )
+            if value
+        ]
+        if conflicting:
+            raise CLIError(
+                f"--dry-run writes nothing — it conflicts with "
+                f"{', '.join(conflicting)}"
+            )
+        return NullBackend(), None, False
     backend_name = args.backend or spec.get("backend", "memory")
     if backend_name not in BACKEND_NAMES:
         raise CLIError(
@@ -424,8 +456,25 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
     if plan.source_format and not spec.get("format") and not spec.get("dataset"):
         spec.default_format = plan.source_format
     mode, shards = _execution_mode(args, spec)
+    dry_run = bool(getattr(args, "dry_run", False))
+    checkpoint_dir = getattr(args, "checkpoint_dir", None) or spec.get("checkpoint_dir")
+    resume = bool(getattr(args, "resume", False))
+    if resume and not checkpoint_dir:
+        raise CLIError(
+            "--resume needs --checkpoint-dir (the directory the interrupted "
+            "run checkpointed into)"
+        )
+    if checkpoint_dir and mode != "sharded":
+        raise CLIError(
+            "--checkpoint-dir/--resume only apply to sharded execution "
+            "(add --shards N)"
+        )
+    if resume:
+        # The interrupted run may have left a partial target; the reduce
+        # always restarts from the checkpointed spills, so overwrite it.
+        args.force = True
     backend, output, owns_output = _make_backend(args, spec)
-    sql_dump = args.sql_dump or spec.get("sql_dump")
+    sql_dump = None if dry_run else (args.sql_dump or spec.get("sql_dump"))
     if sql_dump and isinstance(backend, ColumnarBackend):
         raise CLIError(
             "--sql-dump only applies to the memory and sqlite backends "
@@ -446,6 +495,11 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
                 workers = spec.get_int("workers", 0)
             else:
                 workers = None  # default: one process per shard, up to CPU count
+            checkpoint = (
+                ShardCheckpoint(spec.resolve(str(checkpoint_dir)))
+                if checkpoint_dir
+                else None
+            )
             report = shard_execute(
                 plan,
                 spec.sharded_source(),
@@ -453,6 +507,8 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
                 shards=shards,
                 chunk_size=chunk_size,
                 workers=workers,
+                checkpoint=checkpoint,
+                resume=resume,
             )
         elif mode == "streaming":
             workers = args.workers if args.workers is not None else spec.get_int("workers", 0)
@@ -481,6 +537,7 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
                     except OSError:
                         pass
         raise
+    report.dry_run = dry_run
     if isinstance(backend, SQLiteBackend):
         if sql_dump:
             with open(spec.resolve(sql_dump), "w", encoding="utf-8") as handle:
@@ -498,12 +555,37 @@ def _print_report(report: ExecutionReport, output: Optional[str]) -> None:
         print(f"  {table:28} {count:>10}")
     chunk_note = f" over {report.chunks} chunk(s)" if report.chunks > 1 else ""
     shard_note = f" in {report.shards} shard(s)" if report.shards > 1 else ""
-    print(
-        f"loaded {report.total_rows} rows in {report.execution_time:.2f}s"
-        f"{chunk_note}{shard_note}"
+    resume_note = (
+        f" ({report.shards_resumed} resumed from checkpoint, "
+        f"{report.shards_executed} executed)"
+        if report.shards_resumed
+        else ""
     )
-    if output:
+    verb = "would load" if report.dry_run else "loaded"
+    print(
+        f"{verb} {report.total_rows} rows in {report.execution_time:.2f}s"
+        f"{chunk_note}{shard_note}{resume_note}"
+    )
+    if report.dry_run:
+        print("dry run: no rows were written")
+    elif output:
         print(f"database written to {output}")
+
+
+def _write_report_json(path: str, spec: Spec, report: ExecutionReport, output: Optional[str]) -> None:
+    """Write the machine-readable execution report (``--report-json``).
+
+    The payload is exactly :meth:`ExecutionReport.to_json` — the same schema
+    the service returns from ``GET /jobs/<id>/report`` — plus the resolved
+    output path.
+    """
+    payload = report.to_json()
+    payload["output"] = output
+    resolved = spec.resolve(path)
+    with open(resolved, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {resolved}")
 
 
 # --------------------------------------------------------------------------- #
@@ -533,6 +615,8 @@ def _cmd_run(args) -> int:
     print(f"plan: {provenance}")
     report, output = _execute(args, spec, plan)
     _print_report(report, output)
+    if args.report_json:
+        _write_report_json(args.report_json, spec, report, output)
     return 0
 
 
@@ -544,6 +628,81 @@ def _cmd_migrate(args) -> int:
     print(f"plan: {provenance} in {time.perf_counter() - start:.2f}s")
     report, output = _execute(args, spec, plan)
     _print_report(report, output)
+    if args.report_json:
+        _write_report_json(args.report_json, spec, report, output)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    """``repro verify``: re-derive invariants against a finished target.
+
+    Expected row counts come from ``--expect-report`` (a ``--report-json``
+    file or the service's job report) when given, and are otherwise
+    re-derived by executing the plan into the counting backend — the same
+    pass ``--dry-run`` uses.  Exit code 0 = every table passed.
+    """
+    spec = Spec.load(args.spec)
+    plan, provenance = _acquire_plan(args, spec, allow_learn=True)
+    print(f"plan: {provenance}")
+    backend_name = args.backend or spec.get("backend")
+    if not backend_name:
+        raise CLIError('verify needs --backend (or a spec "backend" key)')
+    output = args.output or spec.get("output")
+    if output is not None:
+        output = spec.resolve(output)
+    if args.expect_report:
+        path = spec.resolve(args.expect_report)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise CLIError(f"cannot read expected report: {error}")
+        except json.JSONDecodeError as error:
+            raise CLIError(f"expected report is not valid JSON: {error}")
+        counts = payload.get("per_table_rows") if isinstance(payload, dict) else None
+        if not isinstance(counts, dict):
+            raise CLIError(
+                f'{path} is not an execution report (no "per_table_rows") — '
+                f"pass a --report-json file or a service job report"
+            )
+        expected = {str(table): int(count) for table, count in counts.items()}
+    else:
+        counting = NullBackend()
+        execute_plan(plan, spec.full_document(), counting)
+        expected = dict(counting.counts)
+    rows = read_target_rows(backend_name, output, plan.schema)
+    report = verify_rows(plan.schema, rows, expected)
+    print(report.describe())
+    if args.report_json:
+        resolved = spec.resolve(args.report_json)
+        payload = report.to_json()
+        payload["backend"] = backend_name
+        payload["output"] = output
+        with open(resolved, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {resolved}")
+    return 0 if report.passed else 1
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: run the migration-service daemon until shutdown."""
+    from .service.server import serve
+
+    if args.max_workers < 1:
+        raise CLIError(f"--max-workers must be >= 1 (got {args.max_workers})")
+    if not 0 <= args.port <= 65535:
+        raise CLIError(f"--port must be 0-65535 (got {args.port})")
+    try:
+        serve(
+            args.state_dir,
+            args.port,
+            args.host,
+            max_workers=args.max_workers,
+            quiet=args.quiet,
+        )
+    except OSError as error:
+        raise CLIError(f"cannot bind {args.host}:{args.port}: {error}")
     return 0
 
 
@@ -623,6 +782,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes (streaming: chunk fan-out; sharded: shard "
             "pool, default one per shard up to the CPU count)",
         )
+        sub.add_argument(
+            "--dry-run",
+            action="store_true",
+            help="execute the plan into a counting backend: print per-table "
+            "row counts, write nothing",
+        )
+        sub.add_argument(
+            "--checkpoint-dir",
+            help="sharded only: persist per-shard spills and a resume "
+            "manifest in this directory (docs/service.md)",
+        )
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume an interrupted sharded run from --checkpoint-dir: "
+            "shards whose spill file validates are not re-executed",
+        )
+        sub.add_argument(
+            "--report-json",
+            help="write the execution report as JSON to this path (same "
+            "schema as the service's job reports)",
+        )
 
     learn = subparsers.add_parser(
         "learn",
@@ -642,6 +823,60 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(migrate)
     add_execution(migrate)
     migrate.set_defaults(handler=_cmd_migrate)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="re-check a finished target: row counts and PK/FK integrity "
+        "(exit 0 = pass)",
+    )
+    add_common(verify)
+    verify.add_argument(
+        "--backend",
+        choices=[name for name in BACKEND_NAMES if name != "memory"],
+        help="backend that produced the target (memory leaves no artifact)",
+    )
+    verify.add_argument(
+        "--output", help="the target to verify: database file or directory"
+    )
+    verify.add_argument(
+        "--expect-report",
+        help="expected row counts from a --report-json file (default: "
+        "re-derive them with a dry-run counting pass)",
+    )
+    verify.add_argument(
+        "--report-json", help="write the verification report as JSON to this path"
+    )
+    verify.set_defaults(handler=_cmd_verify)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the migration service: an HTTP/JSON job daemon with "
+        "resumable, dry-runnable, verifiable jobs",
+    )
+    serve.add_argument(
+        "--state-dir",
+        required=True,
+        help="durable daemon state: job records, plan cache, checkpoints, outputs",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: loopback)"
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=2,
+        help="concurrent jobs (each job may fan out into shard processes)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
@@ -659,6 +894,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ShardError,
         SerializationError,
         SchemaError,
+        VerificationError,
     ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

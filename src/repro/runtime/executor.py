@@ -159,6 +159,18 @@ class ChunkMerger:
             yield tuple(values)
 
 
+#: Backend class → registry name, for report serialization.  Kept here (not
+#: in the backends package) so ``to_json`` needs no registry import.
+_BACKEND_CLASS_NAMES = {
+    "MemoryBackend": "memory",
+    "SQLiteBackend": "sqlite",
+    "ColumnarBackend": "columnar",
+    "NullBackend": "null",
+}
+
+REPORT_KIND = "repro_execution_report"
+
+
 @dataclass
 class ExecutionReport:
     """What happened during one plan execution."""
@@ -169,9 +181,40 @@ class ExecutionReport:
     chunks: int = 1
     shards: int = 1
 
+    shards_executed: int = 0
+    """Shards actually mapped this run (< ``shards`` after a resume)."""
+
+    shards_resumed: int = 0
+    """Shards skipped because a checkpointed spill already covered them."""
+
+    dry_run: bool = False
+    """True when rows were counted but never written (``--dry-run``)."""
+
     @property
     def total_rows(self) -> int:
         return sum(self.per_table_rows.values())
+
+    @property
+    def backend_name(self) -> str:
+        """The registry name of the backend rows landed in (e.g. ``"sqlite"``)."""
+        class_name = type(self.backend).__name__
+        return _BACKEND_CLASS_NAMES.get(class_name, class_name)
+
+    def to_json(self) -> dict:
+        """The report as a JSON-serializable dict — one schema for the CLI's
+        ``--report-json`` and the service's ``GET /jobs/<id>/report``."""
+        return {
+            "kind": REPORT_KIND,
+            "backend": self.backend_name,
+            "per_table_rows": dict(self.per_table_rows),
+            "total_rows": self.total_rows,
+            "execution_time_s": self.execution_time,
+            "chunks": self.chunks,
+            "shards": self.shards,
+            "shards_executed": self.shards_executed,
+            "shards_resumed": self.shards_resumed,
+            "dry_run": self.dry_run,
+        }
 
 
 def compile_plan_executions(plan: MigrationPlan) -> Dict[str, ExecutionPlan]:

@@ -1,0 +1,233 @@
+"""The HTTP face of the migration service: a stdlib JSON API.
+
+``repro serve`` boots a :class:`MigrationService` — a
+:class:`http.server.ThreadingHTTPServer` wrapping one
+:class:`~repro.runtime.service.runner.JobRunner` — and serves a small local
+API (plain stdlib, no framework, no new dependencies):
+
+========  ========================  ==========================================
+method    path                      effect
+========  ========================  ==========================================
+GET       /health                   liveness + job-state counts
+GET       /jobs                     list job summaries
+POST      /jobs                     submit ``{"kind": ..., "params": {...}}``
+GET       /jobs/<id>                full job record (state, progress, error)
+GET       /jobs/<id>/report         the finished job's report (409 until done)
+POST      /jobs/<id>/cancel         cooperative cancel at the next shard
+POST      /jobs/<id>/resume         re-enqueue interrupted/failed/cancelled
+POST      /shutdown                 drain and stop the daemon
+========  ========================  ==========================================
+
+Everything is JSON both ways; errors are ``{"error": "..."}`` with a
+meaningful status code.  The server binds loopback by default — it is a
+local orchestration daemon, not a public endpoint.
+
+Recovery is part of boot, not an extra step: the runner marks jobs that were
+``running`` when the previous daemon died as ``interrupted`` *before* the
+socket accepts work, so a client polling across a restart never observes a
+stale ``running`` state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from .jobs import JOB_KINDS, Job, JobError
+from .runner import JobRunner
+
+
+class MigrationService(ThreadingHTTPServer):
+    """The daemon: an HTTP server that owns a :class:`JobRunner`.
+
+    Construction recovers persisted job state (``running`` → ``interrupted``,
+    ``queued`` jobs re-enqueued) and binds the socket; call
+    :meth:`serve_forever` to start answering.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        state_dir: str,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        max_workers: int = 2,
+        quiet: bool = False,
+    ) -> None:
+        self.runner = JobRunner(state_dir, max_workers=max_workers)
+        self.recovered: List[Job] = self.runner.start()
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def request_shutdown(self) -> None:
+        """Stop accepting requests and release the runner, asynchronously.
+
+        ``shutdown`` blocks until the ``serve_forever`` loop exits, so it
+        must not run on the handler thread that is still writing the
+        response — hand it to a helper thread.
+        """
+        self.runner.close(wait=False)
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: MigrationService
+
+    # Keep-alive with explicit Content-Length on every response.
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(self, status: int, payload: Dict[str, object]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self) -> Optional[Dict[str, object]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._error(400, "request body is not valid JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    def _job_or_404(self, job_id: str) -> Optional[Job]:
+        try:
+            return self.server.runner.store.get(job_id)
+        except JobError as error:
+            self._error(404, str(error))
+            return None
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["health"]:
+            jobs = self.server.runner.store.list()
+            states: Dict[str, int] = {}
+            for job in jobs:
+                states[job.state] = states.get(job.state, 0) + 1
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "state_dir": self.server.runner.state_dir,
+                    "jobs": states,
+                },
+            )
+        elif parts == ["jobs"]:
+            self._send(
+                200,
+                {"jobs": [job.summary() for job in self.server.runner.store.list()]},
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._send(200, job.to_json())
+        elif len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "report":
+            job = self._job_or_404(parts[1])
+            if job is None:
+                return
+            if job.report is None:
+                self._error(
+                    409, f"job {job.id} is {job.state}; no report available yet"
+                )
+            else:
+                self._send(200, job.report)
+        else:
+            self._error(404, f"no such endpoint: GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["shutdown"]:
+            self._send(200, {"status": "shutting down"})
+            self.server.request_shutdown()
+        elif parts == ["jobs"]:
+            payload = self._read_json()
+            if payload is None:
+                return
+            kind = payload.get("kind")
+            params = payload.get("params", {})
+            if kind not in JOB_KINDS:
+                self._error(
+                    400,
+                    f"job kind must be one of {', '.join(JOB_KINDS)} "
+                    f"(got {kind!r})",
+                )
+                return
+            if not isinstance(params, dict):
+                self._error(400, '"params" must be a JSON object')
+                return
+            job = self.server.runner.submit(str(kind), params)
+            self._send(201, job.to_json())
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] in ("cancel", "resume"):
+            try:
+                if parts[2] == "cancel":
+                    job = self.server.runner.cancel(parts[1])
+                else:
+                    job = self.server.runner.resume(parts[1])
+            except JobError as error:
+                status = 404 if "unknown job" in str(error) else 409
+                self._error(status, str(error))
+                return
+            self._send(200, job.to_json())
+        else:
+            self._error(404, f"no such endpoint: POST {self.path}")
+
+
+def serve(
+    state_dir: str,
+    port: int = 0,
+    host: str = "127.0.0.1",
+    *,
+    max_workers: int = 2,
+    quiet: bool = False,
+) -> MigrationService:
+    """Boot the daemon and serve until ``/shutdown`` or SIGINT.
+
+    Prints the bound address (``port=0`` picks a free port) and the jobs
+    recovered from a previous daemon's state, then blocks in
+    ``serve_forever``.  Returns the (stopped) service, mostly for tests.
+    """
+    service = MigrationService(
+        state_dir, (host, port), max_workers=max_workers, quiet=quiet
+    )
+    print(
+        f"repro service listening on http://{host}:{service.port} "
+        f"(state: {service.runner.state_dir})",
+        flush=True,
+    )
+    for job in service.recovered:
+        print(f"recovered {job.id}: running -> interrupted (resumable)", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        service.runner.close(wait=False)
+    finally:
+        service.server_close()
+    return service
+
+
+__all__ = ["MigrationService", "serve"]

@@ -48,7 +48,7 @@ import shutil
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..hdt.tree import HDT
 from .backends.base import ExecutionBackend, Row
@@ -360,7 +360,11 @@ class SpillWriter:
 
 
 def iter_spill(
-    path: str, *, plan_fingerprint: str, shard_index: int
+    path: str,
+    *,
+    plan_fingerprint: str,
+    shard_index: int,
+    manifest_out: Optional[Dict[str, object]] = None,
 ) -> Iterator[Tuple[str, List[Row]]]:
     """Replay a spill file's row batches, validating the framing as it goes.
 
@@ -369,6 +373,9 @@ def iter_spill(
     manifest), or per-table row counts that do not match the manifest.
     Validation is interleaved with replay, so a truncation is detected even
     though batches stream to the caller before the end marker is read.
+
+    Pass a dict as ``manifest_out`` to receive the validated end manifest
+    (shard index, chunk/record/row counts) once the stream completes.
     """
     where = f"shard {shard_index} spill {path}"
     try:
@@ -421,8 +428,32 @@ def iter_spill(
                         f"{where} row counts do not match its manifest "
                         f"(replayed {counts}, manifest {manifest.get('per_table_rows')})"
                     )
+                if manifest_out is not None:
+                    manifest_out.update(manifest)
                 return
             raise ShardError(f"{where} contains unknown message {message[0]!r}")
+
+
+def validate_spill(
+    path: str, *, plan_fingerprint: str, shard_index: int
+) -> Dict[str, object]:
+    """Fully replay a spill file for validation only; returns its end manifest.
+
+    This is the checkpoint/resume primitive: a spill that replays cleanly end
+    to end (header, every batch, counts matching the end manifest) proves its
+    shard completed, whoever wrote it and however the writing process died
+    afterwards.  Raises :class:`ShardError` exactly as :func:`iter_spill`
+    would.
+    """
+    manifest: Dict[str, object] = {}
+    for _table, _rows in iter_spill(
+        path,
+        plan_fingerprint=plan_fingerprint,
+        shard_index=shard_index,
+        manifest_out=manifest,
+    ):
+        pass
+    return manifest
 
 
 # --------------------------------------------------------------------------- #
@@ -567,6 +598,9 @@ def shard_execute(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: Optional[int] = None,
     spill_dir: Optional[str] = None,
+    checkpoint=None,
+    resume: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> ExecutionReport:
     """Execute a plan over record shards in parallel processes.
 
@@ -576,6 +610,24 @@ def shard_execute(
     fork is expensive).  ``spill_dir`` keeps the per-shard spill files in a
     caller-managed directory; by default a temporary directory is used and
     removed when execution finishes.
+
+    ``checkpoint`` makes the run *resumable*: pass a
+    :class:`~repro.runtime.service.checkpoint.ShardCheckpoint` (or anything
+    with its ``directory`` / ``begin`` / ``mark_complete`` / ``finish``
+    surface) and spill files persist in the checkpoint directory, with a
+    manifest updated as each shard completes.  With ``resume=True``, shards
+    whose checkpointed spill replays cleanly end to end are *not*
+    re-executed — the reducer consumes the existing spill.  A fingerprint,
+    shard-count or chunk-size mismatch against the stored manifest raises
+    :class:`ShardError` under ``resume`` (and starts fresh otherwise).  On
+    success the checkpoint is cleared.  ``resume`` without a checkpoint is
+    an error; ``checkpoint`` and ``spill_dir`` are mutually exclusive.
+
+    ``progress`` is called as ``progress(completed_shards, total_shards)``
+    once after checkpoint recovery and again as each shard's map completes;
+    an exception raised from the callback aborts the run (checkpointed
+    spills survive for a later resume) — this is the cancellation hook the
+    migration service uses.
 
     Examples
     --------
@@ -590,41 +642,79 @@ def shard_execute(
     resolved = shard_source(source)
     if chunk_size <= 0:
         raise ShardError(f"chunk_size must be positive (got {chunk_size})")
+    if resume and checkpoint is None:
+        raise ShardError("resume=True needs a checkpoint")
+    if checkpoint is not None and spill_dir is not None:
+        raise ShardError("checkpoint and spill_dir are mutually exclusive")
     backend = backend if backend is not None else MemoryBackend()
     start = time.perf_counter()
-    specs = partition_records(resolved.count_records(), shards)
+    total_records = resolved.count_records()
+    specs = partition_records(total_records, shards)
     fingerprint = plan.content_fingerprint()
-    own_spill_dir = spill_dir is None
-    directory = spill_dir if spill_dir is not None else tempfile.mkdtemp(prefix="repro-shards-")
+    completed: Dict[int, Dict[str, object]] = {}
+    if checkpoint is not None:
+        own_spill_dir = False
+        directory = checkpoint.directory
+        completed = checkpoint.begin(
+            plan_fingerprint=fingerprint,
+            shards=len(specs),
+            chunk_size=chunk_size,
+            records=total_records,
+            resume=resume,
+        )
+    else:
+        own_spill_dir = spill_dir is None
+        directory = spill_dir if spill_dir is not None else tempfile.mkdtemp(prefix="repro-shards-")
     os.makedirs(directory, exist_ok=True)
+    pending = [spec for spec in specs if spec.index not in completed]
     if workers is None:
         workers = min(len(specs), os.cpu_count() or 1)
     report = ExecutionReport(backend=backend, chunks=0, shards=len(specs))
+    report.shards_resumed = len(completed)
+    report.shards_executed = len(pending)
     report.per_table_rows = {t.name: 0 for t in plan.schema.tables}
+    manifests: Dict[int, Dict[str, object]] = dict(completed)
+
+    def _shard_done(manifest: Dict[str, object], index: Optional[int] = None) -> None:
+        if index is None:
+            index = int(manifest["shard"])  # type: ignore[arg-type]
+        manifests[index] = manifest
+        if checkpoint is not None:
+            checkpoint.mark_complete(index, manifest)
+        if progress is not None:
+            progress(len(manifests), len(specs))
+
     try:
-        # Map: fill the spill files (parallel across shards).
-        if workers > 1:
+        if progress is not None:
+            progress(len(manifests), len(specs))
+        # Map: fill the spill files (parallel across the not-yet-done shards).
+        # Completion is consumed shard by shard (``imap_unordered``) so the
+        # checkpoint manifest — and the caller's progress — advance the
+        # moment each shard finishes, not when the whole pool drains.
+        if workers > 1 and pending:
             with multiprocessing.Pool(
-                processes=min(workers, len(specs)),
+                processes=min(workers, len(pending)),
                 initializer=_init_shard_worker,
                 initargs=(plan, resolved, chunk_size, directory, fingerprint),
             ) as pool:
-                manifests = pool.map(_run_shard_task, specs)
+                for manifest in pool.imap_unordered(_run_shard_task, pending):
+                    _shard_done(manifest)
         else:
-            executions = compile_plan_executions(plan)
-            manifests = [
-                execute_shard(
-                    plan,
-                    resolved,
-                    spec,
-                    chunk_size=chunk_size,
-                    spill_path=_spill_path(directory, spec.index),
-                    plan_fingerprint=fingerprint,
-                    executions=executions,
+            executions = compile_plan_executions(plan) if pending else {}
+            for spec in pending:
+                _shard_done(
+                    execute_shard(
+                        plan,
+                        resolved,
+                        spec,
+                        chunk_size=chunk_size,
+                        spill_path=_spill_path(directory, spec.index),
+                        plan_fingerprint=fingerprint,
+                        executions=executions,
+                    ),
+                    spec.index,
                 )
-                for spec in specs
-            ]
-        report.chunks = sum(int(m["chunks"]) for m in manifests)
+        report.chunks = sum(int(m["chunks"]) for m in manifests.values())
         # Reduce: replay spills in shard order through the cross-shard
         # merger, streaming batch by batch into the backend.
         backend.begin(plan.schema)
@@ -643,5 +733,7 @@ def shard_execute(
     finally:
         if own_spill_dir:
             shutil.rmtree(directory, ignore_errors=True)
+    if checkpoint is not None:
+        checkpoint.finish()
     report.execution_time = time.perf_counter() - start
     return report

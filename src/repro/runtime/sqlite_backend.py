@@ -3,14 +3,25 @@
 The backend seam was extracted into :mod:`repro.runtime.backends` (one module
 per backend plus a name registry); the SQLite implementation now lives in
 :mod:`repro.runtime.backends.sqlite`.  This module re-exports the public
-names so existing imports keep working.
+names so existing imports keep working, but emits a
+:class:`DeprecationWarning` on import — switch to
+``repro.runtime.backends`` (or ``repro.runtime.backends.sqlite``).
 """
+
+import warnings
 
 from .backends.sqlite import (  # noqa: F401
     SQLiteBackend,
     SQLiteBackendError,
     database_matches_sqlite,
     load_database,
+)
+
+warnings.warn(
+    "repro.runtime.sqlite_backend is deprecated; import from "
+    "repro.runtime.backends (or repro.runtime.backends.sqlite) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

@@ -1,0 +1,230 @@
+"""Post-run verification: re-derive invariants against a finished target.
+
+A migration that "finished" is not the same as a migration that is *right*.
+``repro verify`` (CLI) and the service's verify jobs close that gap: they
+read the produced target back through the backends' read-side hooks and
+check, per table,
+
+* **row counts** — the target holds exactly the rows the plan produces for
+  the source document.  The expected counts are *re-derived* by executing
+  the plan against the document into a
+  :class:`~repro.runtime.backends.null.NullBackend` (the same counting pass
+  ``--dry-run`` uses — full pipeline, no writes), or taken from a recorded
+  :meth:`~repro.runtime.executor.ExecutionReport.to_json` file when one is
+  supplied;
+* **primary-key integrity** — the primary-key column is non-null and
+  unique;
+* **foreign-key integrity** — every non-null foreign-key value resolves to
+  an existing key of its target table *in the target itself* (so a
+  deliberately corrupted or truncated artifact is detected even when its
+  counts happen to match).
+
+Verification never writes: the SQLite hook opens the database read-only,
+the columnar hook reads files, the memory backend is checked in process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..relational.schema import DatabaseSchema
+from .backends.base import ExecutionBackend, Row
+
+
+class VerificationError(Exception):
+    """The target could not be read at all (missing file, bad manifest...)."""
+
+
+@dataclass
+class TableCheck:
+    """The verification outcome for one table."""
+
+    table: str
+    rows: int
+    expected_rows: Optional[int] = None
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rows": self.rows,
+            "expected_rows": self.expected_rows,
+            "passed": self.passed,
+            "problems": list(self.problems),
+        }
+
+
+@dataclass
+class VerificationReport:
+    """Per-table pass/fail plus the overall verdict."""
+
+    tables: List[TableCheck]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.tables)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": "repro_verification_report",
+            "passed": self.passed,
+            "tables": {check.table: check.to_json() for check in self.tables},
+        }
+
+    def describe(self) -> str:
+        lines = []
+        for check in self.tables:
+            if check.passed:
+                expected = (
+                    f" (expected {check.expected_rows})"
+                    if check.expected_rows is not None
+                    else ""
+                )
+                lines.append(f"  {check.table:28} ok: {check.rows} rows{expected}")
+            else:
+                lines.append(f"  {check.table:28} FAIL:")
+                lines.extend(f"    - {problem}" for problem in check.problems)
+        verdict = "PASS" if self.passed else "FAIL"
+        failed = sum(1 for check in self.tables if not check.passed)
+        suffix = "" if self.passed else f" ({failed} table(s) failed)"
+        lines.append(f"verification: {verdict}{suffix}")
+        return "\n".join(lines)
+
+
+def verify_rows(
+    schema: DatabaseSchema,
+    rows_by_table: Dict[str, Sequence[Row]],
+    expected_counts: Optional[Dict[str, int]] = None,
+) -> VerificationReport:
+    """Check row-count, primary-key and foreign-key invariants.
+
+    ``rows_by_table`` maps table names to the target's rows; a schema table
+    absent from the mapping fails with "missing from the target".
+    ``expected_counts`` (when given) adds the row-count comparison.
+    Natural-key tables are checked like surrogate-key ones — their keys are
+    source data, but uniqueness and resolvability must hold all the same.
+    """
+    key_values: Dict[str, Dict[str, set]] = {}
+    checks: List[TableCheck] = []
+    by_name = {t.name: t for t in schema.tables}
+    # First pass: collect every referenced (table, column) value set so FK
+    # checks can resolve regardless of declaration order.
+    referenced: Dict[str, set] = set()  # type: ignore[assignment]
+    referenced = {
+        (fk.target_table, fk.target_column)
+        for table in schema.tables
+        for fk in table.foreign_keys
+    }
+    for table_name, column in referenced:
+        rows = rows_by_table.get(table_name)
+        if rows is None:
+            continue
+        index = by_name[table_name].column_names.index(column)
+        key_values.setdefault(table_name, {})[column] = {
+            row[index] for row in rows if row[index] is not None
+        }
+    for table in schema.tables:
+        rows = rows_by_table.get(table.name)
+        if rows is None:
+            checks.append(
+                TableCheck(
+                    table=table.name,
+                    rows=0,
+                    expected_rows=(expected_counts or {}).get(table.name),
+                    problems=["table is missing from the target"],
+                )
+            )
+            continue
+        check = TableCheck(table=table.name, rows=len(rows))
+        if expected_counts is not None and table.name in expected_counts:
+            check.expected_rows = expected_counts[table.name]
+            if check.expected_rows != len(rows):
+                check.problems.append(
+                    f"row count mismatch: target has {len(rows)} rows, "
+                    f"expected {check.expected_rows}"
+                )
+        names = table.column_names
+        if table.primary_key is not None:
+            pk_index = names.index(table.primary_key)
+            seen: set = set()
+            nulls = duplicates = 0
+            for row in rows:
+                value = row[pk_index]
+                if value is None:
+                    nulls += 1
+                elif value in seen:
+                    duplicates += 1
+                else:
+                    seen.add(value)
+            if nulls:
+                check.problems.append(
+                    f"primary key {table.primary_key!r} is NULL in {nulls} row(s)"
+                )
+            if duplicates:
+                check.problems.append(
+                    f"primary key {table.primary_key!r} has {duplicates} duplicate(s)"
+                )
+        for fk in table.foreign_keys:
+            fk_index = names.index(fk.column)
+            targets = key_values.get(fk.target_table, {}).get(fk.target_column)
+            if targets is None:
+                check.problems.append(
+                    f"foreign key {fk.column!r} cannot be checked: target table "
+                    f"{fk.target_table!r} is missing from the target"
+                )
+                continue
+            dangling = sum(
+                1
+                for row in rows
+                if row[fk_index] is not None and row[fk_index] not in targets
+            )
+            if dangling:
+                check.problems.append(
+                    f"foreign key {fk.column!r} -> {fk.target_table}."
+                    f"{fk.target_column} dangles in {dangling} row(s)"
+                )
+        checks.append(check)
+    return VerificationReport(tables=checks)
+
+
+def read_target_rows(
+    backend_name: str, output: Optional[str], schema: DatabaseSchema
+) -> Dict[str, List[Row]]:
+    """Read a finished target back through its backend's read-side hook.
+
+    ``backend_name`` is the registry name (``sqlite`` / ``columnar``);
+    ``output`` is the artifact path.  The memory backend has no durable
+    artifact — verify it in process with :func:`verify_backend`.
+    """
+    if backend_name == "sqlite":
+        if output is None:
+            raise VerificationError("verifying a sqlite target needs its file path")
+        from .backends.sqlite import read_table_rows
+
+        return read_table_rows(output, schema)
+    if backend_name == "columnar":
+        if output is None:
+            raise VerificationError("verifying a columnar target needs its directory")
+        from .backends.columnar import read_table_rows
+
+        return read_table_rows(output, schema)
+    if backend_name == "memory":
+        raise VerificationError(
+            "the memory backend leaves no on-disk target; verify it in process "
+            "(verify_backend) or re-run with --backend sqlite/columnar"
+        )
+    raise VerificationError(f"unknown backend {backend_name!r}")
+
+
+def verify_backend(
+    backend: ExecutionBackend,
+    schema: DatabaseSchema,
+    expected_counts: Optional[Dict[str, int]] = None,
+) -> VerificationReport:
+    """Verify a finalized in-process backend through ``fetch_rows``."""
+    rows = {table.name: backend.fetch_rows(table.name) for table in schema.tables}
+    return verify_rows(schema, rows, expected_counts)

@@ -33,6 +33,7 @@ from repro.runtime import (
 from repro.runtime.backends import ColumnarBackend
 from repro.runtime.cli import main as cli_main
 from repro.runtime.plan import TablePlan
+from repro.runtime.service import CHECKPOINT_MANIFEST_NAME, ShardCheckpoint
 from repro.runtime.sharded import (
     DocumentSetSource,
     JSONSource,
@@ -40,9 +41,11 @@ from repro.runtime.sharded import (
     SpillWriter,
     TreeSource,
     XMLSource,
+    _spill_path,
     execute_shard,
     iter_spill,
     partition_records,
+    validate_spill,
 )
 from repro.runtime.streaming import (
     count_json_records,
@@ -674,3 +677,173 @@ def test_cli_columnar_format_requires_columnar_backend(tmp_path, capsys):
         == 1
     )
     assert "--columnar-format only applies" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# Checkpointed resume: kill after shard k, resume, identical canonical output
+# --------------------------------------------------------------------------- #
+
+
+class _Abort(Exception):
+    """Stands in for SIGKILL: raised from the progress callback mid-map."""
+
+
+def _abort_after(n):
+    def progress(done, total):
+        if done >= n:
+            raise _Abort()
+
+    return progress
+
+
+@pytest.mark.parametrize(
+    "make_backend", [MemoryBackend, SQLiteBackend, ColumnarBackend]
+)
+def test_checkpoint_resume_is_canonically_identical(dblp_plan, tmp_path, make_backend):
+    """Abort after 2 of 4 shards, resume, and match the uninterrupted run —
+    across every backend: the reduce replays resumed and fresh spills alike."""
+    document = dblp.dataset(scale=12).generate(12)
+    reference = _whole_tree_reference(dblp_plan, document)
+    directory = str(tmp_path / "ckpt")
+    with pytest.raises(_Abort):
+        shard_execute(
+            dblp_plan, document, make_backend(), shards=4, workers=1,
+            chunk_size=5, checkpoint=ShardCheckpoint(directory),
+            progress=_abort_after(2),
+        )
+    assert os.path.exists(os.path.join(directory, CHECKPOINT_MANIFEST_NAME))
+    report = shard_execute(
+        dblp_plan, document, make_backend(), shards=4, workers=1,
+        chunk_size=5, checkpoint=ShardCheckpoint(directory), resume=True,
+    )
+    assert report.shards_resumed == 2
+    assert report.shards_executed == 2
+    assert _canonical(dblp_plan, report.backend) == reference
+    # Success clears the checkpoint: no manifest, no spills.
+    assert os.listdir(directory) == []
+
+
+def test_checkpoint_truncated_spill_is_reexecuted(dblp_plan, tmp_path):
+    """A spill truncated by a killed worker fails validation and re-runs."""
+    document = dblp.dataset(scale=8).generate(8)
+    reference = _whole_tree_reference(dblp_plan, document)
+    directory = str(tmp_path / "ckpt")
+    with pytest.raises(_Abort):
+        shard_execute(
+            dblp_plan, document, shards=4, workers=1, chunk_size=5,
+            checkpoint=ShardCheckpoint(directory), progress=_abort_after(2),
+        )
+    victim = _spill_path(directory, 0)
+    payload = open(victim, "rb").read()
+    open(victim, "wb").write(payload[:-7])
+    report = shard_execute(
+        dblp_plan, document, shards=4, workers=1, chunk_size=5,
+        checkpoint=ShardCheckpoint(directory), resume=True,
+    )
+    assert report.shards_resumed == 1  # only the intact spill survived
+    assert report.shards_executed == 3
+    assert _canonical(dblp_plan, report.backend) == reference
+
+
+def test_checkpoint_resume_rejects_changed_parameters(dblp_plan, tmp_path):
+    document = dblp.dataset(scale=6).generate(6)
+    directory = str(tmp_path / "ckpt")
+    with pytest.raises(_Abort):
+        shard_execute(
+            dblp_plan, document, shards=3, workers=1, chunk_size=5,
+            checkpoint=ShardCheckpoint(directory), progress=_abort_after(1),
+        )
+    with pytest.raises(ShardError, match="different.*shards"):
+        shard_execute(
+            dblp_plan, document, shards=4, workers=1, chunk_size=5,
+            checkpoint=ShardCheckpoint(directory), resume=True,
+        )
+    with pytest.raises(ShardError, match="different.*chunk_size"):
+        shard_execute(
+            dblp_plan, document, shards=3, workers=1, chunk_size=9,
+            checkpoint=ShardCheckpoint(directory), resume=True,
+        )
+
+
+def test_checkpoint_argument_validation(dblp_plan, tmp_path):
+    document = dblp.dataset(scale=3).generate(3)
+    with pytest.raises(ShardError, match="needs a checkpoint"):
+        shard_execute(dblp_plan, document, shards=2, workers=1, resume=True)
+    with pytest.raises(ShardError, match="mutually exclusive"):
+        shard_execute(
+            dblp_plan, document, shards=2, workers=1,
+            checkpoint=ShardCheckpoint(str(tmp_path / "c")),
+            spill_dir=str(tmp_path / "s"),
+        )
+
+
+def test_progress_callback_reports_shard_completions(dblp_plan):
+    document = dblp.dataset(scale=6).generate(6)
+    seen = []
+    shard_execute(
+        dblp_plan, document, shards=3, workers=1,
+        progress=lambda done, total: seen.append((done, total)),
+    )
+    assert seen == [(0, 3), (1, 3), (2, 3), (3, 3)]
+
+
+def test_validate_spill_returns_manifest(tmp_path):
+    path = _write_spill(tmp_path / "s.spill")
+    manifest = validate_spill(path, plan_fingerprint="fp0", shard_index=0)
+    assert manifest["per_table_rows"] == {"t": 3}
+    with pytest.raises(ShardError):
+        validate_spill(path, plan_fingerprint="other", shard_index=0)
+
+
+def test_cli_resume_flag_validation(tmp_path, capsys):
+    spec = _demo_spec(tmp_path)
+    assert cli_main(["migrate", "--spec", spec, "--shards", "2", "--resume"]) == 1
+    assert "--resume needs --checkpoint-dir" in capsys.readouterr().err
+    assert (
+        cli_main(
+            ["migrate", "--spec", spec,
+             "--checkpoint-dir", str(tmp_path / "ckpt")]
+        )
+        == 1
+    )
+    assert "only apply to sharded execution" in capsys.readouterr().err
+
+
+def test_cli_checkpoint_resume_end_to_end(tmp_path, capsys, monkeypatch):
+    """`repro migrate --checkpoint-dir` crashes mid-map; `--resume` finishes
+    from the first unfinished shard and verify passes on the target."""
+    spec = _demo_spec(tmp_path)
+    out = tmp_path / "out.db"
+    ckpt = tmp_path / "ckpt"
+    real_execute = execute_shard
+    calls = []
+
+    def flaky(plan, source, spec_, **kwargs):
+        calls.append(spec_.index)
+        if len(calls) > 1:
+            raise RuntimeError("simulated worker crash")
+        return real_execute(plan, source, spec_, **kwargs)
+
+    monkeypatch.setattr("repro.runtime.sharded.execute_shard", flaky)
+    with pytest.raises(RuntimeError, match="simulated"):
+        cli_main(
+            ["migrate", "--spec", spec, "--shards", "3", "--workers", "1",
+             "--backend", "sqlite", "--output", str(out),
+             "--checkpoint-dir", str(ckpt)]
+        )
+    monkeypatch.setattr("repro.runtime.sharded.execute_shard", real_execute)
+    capsys.readouterr()
+    assert (
+        cli_main(
+            ["migrate", "--spec", spec, "--shards", "3", "--workers", "1",
+             "--backend", "sqlite", "--output", str(out),
+             "--checkpoint-dir", str(ckpt), "--resume"]
+        )
+        == 0
+    )
+    resumed_output = capsys.readouterr().out
+    assert "(1 resumed from checkpoint, 2 executed)" in resumed_output
+    assert cli_main(
+        ["verify", "--spec", spec, "--backend", "sqlite", "--output", str(out)]
+    ) == 0
+    assert "verification: PASS" in capsys.readouterr().out

@@ -39,6 +39,8 @@ HELP_SNAPSHOTS = {
     "repro-learn.txt": ["learn", "--help"],
     "repro-run.txt": ["run", "--help"],
     "repro-migrate.txt": ["migrate", "--help"],
+    "repro-verify.txt": ["verify", "--help"],
+    "repro-serve.txt": ["serve", "--help"],
 }
 
 #: Section anchors that must exist on a page, link or no link.  Keys are
@@ -50,6 +52,13 @@ REQUIRED_ANCHORS = {
         "shardreduce-dataflow",
         "cross-shard-key-reconciliation",
         "choosing-a-backend",
+    ],
+    "docs/service.md": [
+        "the-http-api",
+        "job-lifecycle",
+        "checkpoints-and-resume",
+        "dry-runs",
+        "verification",
     ],
 }
 

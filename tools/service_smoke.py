@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the migration service (CI job ``service-smoke``).
+
+Drives the full crash/resume/verify story against a real daemon:
+
+1. boot ``repro serve`` as a subprocess on an OS-assigned port;
+2. submit a sharded migrate job over HTTP (with a per-shard delay so the
+   kill window is deterministic);
+3. ``SIGKILL`` the daemon mid-run, after at least one shard completed;
+4. restart the daemon on the same state dir and assert the job was
+   recovered as ``interrupted``;
+5. resume it, wait for success, and assert the report shows
+   ``shards_resumed >= 1`` with fewer shards re-executed than the total;
+6. submit a ``verify`` job referencing the migrate job and assert it
+   passes;
+7. shut the daemon down cleanly over HTTP.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+Exit code 0 on success; any assertion failure prints ``smoke: FAIL ...``
+and exits 1.  See docs/service.md for the service itself.
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+LISTEN_RE = re.compile(r"listening on http://([\w.]+):(\d+)")
+
+
+class SmokeFailure(Exception):
+    pass
+
+
+def log(message):
+    print(f"smoke: {message}", flush=True)
+
+
+def http(method, url, payload=None, timeout=10.0):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def boot_daemon(state_dir, deadline):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", state_dir, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    while True:
+        if time.monotonic() > deadline:
+            process.kill()
+            raise SmokeFailure("daemon did not announce its port in time")
+        line = process.stdout.readline()
+        if not line:
+            process.wait()
+            raise SmokeFailure(
+                f"daemon exited (code {process.returncode}) before listening"
+            )
+        match = LISTEN_RE.search(line)
+        if match:
+            host, port = match.group(1), int(match.group(2))
+            return process, f"http://{host}:{port}"
+
+
+def poll_job(base, job_id, condition, deadline, interval=0.05):
+    while time.monotonic() < deadline:
+        status, job = http("GET", f"{base}/jobs/{job_id}")
+        if status != 200:
+            raise SmokeFailure(f"GET /jobs/{job_id} -> {status}: {job}")
+        if condition(job):
+            return job
+        time.sleep(interval)
+    raise SmokeFailure(f"timed out waiting on {job_id} ({condition.__name__})")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=8, help="dblp dataset scale")
+    parser.add_argument("--shards", type=int, default=6, help="shard count")
+    parser.add_argument(
+        "--shard-delay", type=float, default=0.75,
+        help="seconds the job sleeps after each shard (the kill window)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=180.0, help="overall deadline in seconds"
+    )
+    args = parser.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as state_dir:
+        process, base = boot_daemon(state_dir, deadline)
+        try:
+            status, health = http("GET", f"{base}/health")
+            if status != 200:
+                raise SmokeFailure(f"/health -> {status}: {health}")
+            log(f"daemon up at {base}")
+
+            status, job = http("POST", f"{base}/jobs", {
+                "kind": "migrate",
+                "params": {
+                    "spec": {"dataset": "dblp", "scale": args.scale},
+                    "backend": "sqlite",
+                    "shards": args.shards,
+                    "workers": 1,
+                    "shard_delay": args.shard_delay,
+                },
+            })
+            if status != 201:
+                raise SmokeFailure(f"submit -> {status}: {job}")
+            job_id = job["id"]
+            log(f"submitted {job_id} ({args.shards} shards, "
+                f"{args.shard_delay}s/shard kill window)")
+
+            def mid_run(record):
+                done = (record.get("progress") or {}).get("shards_done", 0)
+                return 0 < done < args.shards
+
+            job = poll_job(base, job_id, mid_run, deadline)
+            done = job["progress"]["shards_done"]
+            log(f"{job_id} at {done}/{args.shards} shards -> SIGKILL daemon")
+            process.send_signal(signal.SIGKILL)
+            process.wait()
+        except BaseException:
+            process.kill()
+            raise
+
+        process, base = boot_daemon(state_dir, deadline)
+        try:
+            def interrupted(record):
+                return record["state"] == "interrupted"
+
+            job = poll_job(base, job_id, interrupted, deadline)
+            log(f"restarted daemon recovered {job_id} as interrupted")
+
+            status, job = http("POST", f"{base}/jobs/{job_id}/resume")
+            if status != 200:
+                raise SmokeFailure(f"resume -> {status}: {job}")
+
+            def finished(record):
+                return record["state"] in ("succeeded", "failed", "cancelled")
+
+            job = poll_job(base, job_id, finished, deadline)
+            if job["state"] != "succeeded":
+                raise SmokeFailure(
+                    f"resumed job ended {job['state']}: {job.get('error')}"
+                )
+            status, report = http("GET", f"{base}/jobs/{job_id}/report")
+            if status != 200:
+                raise SmokeFailure(f"report -> {status}: {report}")
+            resumed = report["shards_resumed"]
+            executed = report["shards_executed"]
+            if resumed < 1:
+                raise SmokeFailure("resume re-executed every shard "
+                                   f"(resumed={resumed})")
+            if executed >= args.shards:
+                raise SmokeFailure("resume did not skip any shard "
+                                   f"(executed={executed})")
+            if resumed + executed != args.shards:
+                raise SmokeFailure(
+                    f"shard accounting off: {resumed} resumed + "
+                    f"{executed} executed != {args.shards}"
+                )
+            log(f"{job_id} succeeded: {resumed} shards resumed from "
+                f"checkpoint, {executed} re-executed, "
+                f"{report['total_rows']} rows")
+
+            status, verify = http("POST", f"{base}/jobs", {
+                "kind": "verify", "params": {"job": job_id},
+            })
+            if status != 201:
+                raise SmokeFailure(f"verify submit -> {status}: {verify}")
+            verify = poll_job(base, verify["id"], finished, deadline)
+            if verify["state"] != "succeeded":
+                raise SmokeFailure(
+                    f"verify job ended {verify['state']}: {verify.get('error')}"
+                )
+            status, verdict = http("GET", f"{base}/jobs/{verify['id']}/report")
+            if status != 200 or not verdict.get("passed"):
+                raise SmokeFailure(f"verification did not pass: {verdict}")
+            log(f"verification passed for {job_id}'s target")
+
+            http("POST", f"{base}/shutdown")
+            process.wait(timeout=30)
+            if process.returncode != 0:
+                raise SmokeFailure(
+                    f"daemon exited {process.returncode} after /shutdown"
+                )
+            log("daemon shut down cleanly — PASS")
+        except BaseException:
+            process.kill()
+            raise
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except SmokeFailure as failure:
+        print(f"smoke: FAIL {failure}", file=sys.stderr)
+        raise SystemExit(1)
