@@ -25,6 +25,14 @@ ROADMAP's north star asks for:
 * :mod:`repro.runtime.sharded` — multi-process map/reduce execution:
   contiguous record shards, per-shard dedup in workers, a streaming
   cross-shard reducer, validated spill files;
+* :mod:`repro.runtime.supervisor` — fault-tolerant shard supervision:
+  per-attempt process isolation, a :class:`RetryPolicy` with error
+  classification and deterministic backoff, per-shard timeouts, and
+  graceful degradation into structured :class:`ShardFailure` records
+  (see ``docs/robustness.md``);
+* :mod:`repro.runtime.faults` — deterministic fault injection
+  (:class:`FaultPlan`, ``--inject-faults`` / ``REPRO_FAULTS``) exercising
+  every retry/timeout/degradation path with real induced failures;
 * :mod:`repro.runtime.verify` — post-run verification: row-count and
   PK/FK-integrity invariants re-derived against the produced target;
 * :mod:`repro.runtime.service` — the ``repro serve`` daemon: an HTTP/JSON
@@ -74,7 +82,9 @@ from .incremental import IncrementalReport, learn_incremental
 from .plan import MigrationPlan, TablePlan
 from .plan_cache import PlanCache, spec_fingerprint
 from .backends.null import NullBackend
+from .faults import FaultError, FaultPlan, FaultRule
 from .sharded import (
+    ShardDegradedError,
     ShardError,
     ShardSpec,
     partition_records,
@@ -82,6 +92,7 @@ from .sharded import (
     shard_source,
     validate_spill,
 )
+from .supervisor import RetryPolicy, ShardFailure, ShardSupervisor
 from .verify import (
     TableCheck,
     VerificationError,
@@ -112,6 +123,13 @@ __all__ = [
     "available_backends",
     "create_backend",
     "NullBackend",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "ShardFailure",
+    "ShardSupervisor",
+    "ShardDegradedError",
     "ShardError",
     "ShardSpec",
     "partition_records",

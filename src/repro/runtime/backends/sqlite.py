@@ -13,7 +13,12 @@ lets SQLite enforce the primary- and foreign-key constraints natively:
   file-backed databases — the standard write-heavy loading configuration
   (a full checkpoint runs at :meth:`finalize`, so the finished ``.db`` file is
   self-contained);
-* batched ``executemany`` inserts, which avoid per-row statement overhead.
+* batched ``executemany`` inserts, which avoid per-row statement overhead;
+* ``PRAGMA busy_timeout`` plus a per-batch retry loop (each batch runs
+  inside a savepoint, rolled back and retried with backoff when the
+  database is locked/busy) — so a concurrent reader, e.g. ``repro verify``
+  against a live migration, no longer fails the run with
+  ``database is locked``.  See docs/robustness.md#error-classification.
 
 :func:`database_matches_sqlite` is the parity check between the two backends:
 it compares every table of an in-memory database with the corresponding
@@ -24,13 +29,24 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import time
 from typing import Dict, Iterable, List, Optional
 
 from ...codegen.sql_gen import create_schema_statements, quote_identifier
 from ...hdt.node import Scalar
 from ...relational.database import Database
 from ...relational.schema import DatabaseSchema
+from ..faults import fire_backend_insert
+from ..supervisor import RetryPolicy
 from .base import ExecutionBackend, Row
+
+#: How long SQLite itself blocks on a locked database before erroring —
+#: the first line of defense; the batch retry loop is the second.
+DEFAULT_BUSY_TIMEOUT_MS = 10_000
+
+#: Retry schedule for locked/busy batches (attempts beyond SQLite's own
+#: busy wait; anything non-transient fails the batch immediately).
+_INSERT_RETRY_POLICY = RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=1.0)
 
 
 class SQLiteBackendError(Exception):
@@ -50,6 +66,13 @@ class SQLiteBackend(ExecutionBackend):
     enforce_foreign_keys:
         When true (default), foreign keys are enforced by SQLite and a
         violation surfaces as :class:`SQLiteBackendError` at :meth:`finalize`.
+    busy_timeout_ms:
+        How long SQLite blocks on a locked database before raising
+        (``PRAGMA busy_timeout``); locked/busy batches are additionally
+        retried under ``retry_policy``.
+    retry_policy:
+        Retry schedule for locked/busy insert batches (defaults to 4
+        attempts with short exponential backoff).
     """
 
     def __init__(
@@ -58,10 +81,14 @@ class SQLiteBackend(ExecutionBackend):
         *,
         batch_size: int = 1000,
         enforce_foreign_keys: bool = True,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.path = path
         self.batch_size = max(1, batch_size)
         self.enforce_foreign_keys = enforce_foreign_keys
+        self.busy_timeout_ms = max(0, int(busy_timeout_ms))
+        self.retry_policy = retry_policy if retry_policy is not None else _INSERT_RETRY_POLICY
         self.connection: Optional[sqlite3.Connection] = None
         self._insert_sql: Dict[str, str] = {}
         self._schema: Optional[DatabaseSchema] = None
@@ -75,6 +102,7 @@ class SQLiteBackend(ExecutionBackend):
         # SQLite resets at every commit) stays open until finalize().
         self.connection = sqlite3.connect(self.path, isolation_level=None)
         cursor = self.connection.cursor()
+        cursor.execute(f"PRAGMA busy_timeout = {self.busy_timeout_ms}")
         if self.path != ":memory:":
             cursor.execute("PRAGMA journal_mode = WAL")
             cursor.execute("PRAGMA synchronous = NORMAL")
@@ -112,15 +140,51 @@ class SQLiteBackend(ExecutionBackend):
             for row in rows:
                 batch.append(tuple(row))
                 if len(batch) >= self.batch_size:
-                    cursor.executemany(sql, batch)
+                    self._insert_batch(cursor, sql, batch, table)
                     inserted += len(batch)
                     batch.clear()
             if batch:
-                cursor.executemany(sql, batch)
+                self._insert_batch(cursor, sql, batch, table)
                 inserted += len(batch)
+        except SQLiteBackendError:
+            raise
         except sqlite3.Error as error:
             raise SQLiteBackendError(f"insert into {table!r} failed: {error}") from error
         return inserted
+
+    def _insert_batch(
+        self, cursor: sqlite3.Cursor, sql: str, batch: List[Row], table: str
+    ) -> None:
+        """Insert one batch inside a savepoint, retrying locked/busy errors.
+
+        The savepoint makes a retry idempotent: a batch that failed partway
+        through is rolled back before being re-executed, so no retry can
+        double-insert rows.  Only transient errors (locked/busy, per
+        :meth:`RetryPolicy.is_retryable`) are retried; anything else
+        propagates immediately.
+        """
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                fire_backend_insert(attempt)
+                cursor.execute("SAVEPOINT repro_insert_batch")
+                cursor.executemany(sql, batch)
+                cursor.execute("RELEASE SAVEPOINT repro_insert_batch")
+                return
+            except sqlite3.OperationalError as error:
+                try:
+                    cursor.execute("ROLLBACK TO SAVEPOINT repro_insert_batch")
+                    cursor.execute("RELEASE SAVEPOINT repro_insert_batch")
+                except sqlite3.Error:
+                    pass  # the savepoint may not exist (error before BEGIN-ing it)
+                if policy.is_retryable(error) and attempt < policy.max_attempts:
+                    time.sleep(policy.delay_for(0, attempt))
+                    attempt += 1
+                    continue
+                raise SQLiteBackendError(
+                    f"insert into {table!r} failed after {attempt} attempt(s): {error}"
+                ) from error
 
     def finalize(self) -> None:
         if self.connection is None:
@@ -180,6 +244,13 @@ def read_table_rows(path: str, schema: DatabaseSchema) -> Dict[str, List[Row]]:
     the file are *omitted* from the result — the verifier reports them as
     failures; a missing or unopenable database raises
     :class:`SQLiteBackendError`.
+
+    Only "no such table/column" is folded into that omission.  Any other
+    ``OperationalError`` — notably ``database is locked`` while a migration
+    is mid-write — re-raises as :class:`SQLiteBackendError` (wrapping the
+    original, so the verifier's retry loop can classify it as transient)
+    instead of masquerading as a missing table and failing verification
+    with a bogus diff.
     """
     if not os.path.exists(path):
         raise SQLiteBackendError(f"sqlite target not found: {path}")
@@ -189,6 +260,7 @@ def read_table_rows(path: str, schema: DatabaseSchema) -> Dict[str, List[Row]]:
         raise SQLiteBackendError(f"cannot open sqlite target {path}: {error}") from error
     rows: Dict[str, List[Row]] = {}
     try:
+        connection.execute(f"PRAGMA busy_timeout = {DEFAULT_BUSY_TIMEOUT_MS}")
         for table_schema in schema.tables:
             columns = ", ".join(quote_identifier(c) for c in table_schema.column_names)
             try:
@@ -197,8 +269,13 @@ def read_table_rows(path: str, schema: DatabaseSchema) -> Dict[str, List[Row]]:
                     f"ORDER BY rowid"
                 )
                 rows[table_schema.name] = [tuple(row) for row in cursor.fetchall()]
-            except sqlite3.OperationalError:
-                continue  # table (or a column) missing: the verifier reports it
+            except sqlite3.OperationalError as error:
+                message = str(error).lower()
+                if "no such table" in message or "no such column" in message:
+                    continue  # genuinely absent: the verifier reports it
+                raise SQLiteBackendError(
+                    f"cannot read table {table_schema.name!r} of {path}: {error}"
+                ) from error
     finally:
         connection.close()
     return rows

@@ -75,11 +75,13 @@ from .backends import (
 from .backends.columnar import FILE_FORMATS
 from .backends.null import NullBackend
 from .executor import ExecutionReport, execute_plan
+from .faults import FaultError, resolve_plan
 from .plan import MigrationPlan
 from .plan_cache import DEFAULT_CACHE_DIR, PlanCache
 from .service.checkpoint import ShardCheckpoint
-from .sharded import ShardError, TreeSource, shard_execute
+from .sharded import ShardDegradedError, ShardError, TreeSource, shard_execute
 from .sharded import shard_source as make_shard_source
+from .supervisor import RetryPolicy
 from .verify import VerificationError, read_target_rows, verify_rows
 from .streaming import (
     DEFAULT_CHUNK_SIZE,
@@ -359,6 +361,14 @@ def _execution_mode(args, spec: Spec) -> Tuple[str, int]:
             mode = ("whole-tree", 0)
     if mode[0] == "whole-tree" and (args.chunk_size is not None or args.workers is not None):
         raise CLIError("--chunk-size and --workers only apply with --streaming or --shards")
+    if mode[0] != "sharded":
+        for flag, value in (
+            ("--shard-timeout", getattr(args, "shard_timeout", None)),
+            ("--shard-retries", getattr(args, "shard_retries", None)),
+            ("--inject-faults", getattr(args, "inject_faults", None)),
+        ):
+            if value is not None:
+                raise CLIError(f"{flag} only applies to sharded execution (add --shards N)")
     return mode
 
 
@@ -500,6 +510,24 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
                 if checkpoint_dir
                 else None
             )
+            shard_retries = getattr(args, "shard_retries", None)
+            if shard_retries is None:
+                shard_retries = spec.get("shard_retries")
+            if shard_retries is not None:
+                shard_retries = int(shard_retries)
+                if shard_retries < 0:
+                    raise CLIError(f"--shard-retries must be >= 0 (got {shard_retries})")
+            shard_timeout = getattr(args, "shard_timeout", None)
+            if shard_timeout is None:
+                shard_timeout = spec.get("shard_timeout")
+            if shard_timeout is not None:
+                shard_timeout = float(shard_timeout)
+                if shard_timeout <= 0:
+                    raise CLIError(f"--shard-timeout must be positive (got {shard_timeout})")
+            try:
+                fault_plan = resolve_plan(getattr(args, "inject_faults", None))
+            except FaultError as error:
+                raise CLIError(f"--inject-faults: {error}")
             report = shard_execute(
                 plan,
                 spec.sharded_source(),
@@ -509,6 +537,13 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
                 workers=workers,
                 checkpoint=checkpoint,
                 resume=resume,
+                retry_policy=(
+                    RetryPolicy(max_attempts=shard_retries + 1)
+                    if shard_retries is not None
+                    else None
+                ),
+                shard_timeout=shard_timeout,
+                faults=fault_plan,
             )
         elif mode == "streaming":
             workers = args.workers if args.workers is not None else spec.get_int("workers", 0)
@@ -561,10 +596,15 @@ def _print_report(report: ExecutionReport, output: Optional[str]) -> None:
         if report.shards_resumed
         else ""
     )
+    retry_note = (
+        f" ({report.shards_retried} shard attempt(s) retried)"
+        if report.shards_retried
+        else ""
+    )
     verb = "would load" if report.dry_run else "loaded"
     print(
         f"{verb} {report.total_rows} rows in {report.execution_time:.2f}s"
-        f"{chunk_note}{shard_note}{resume_note}"
+        f"{chunk_note}{shard_note}{resume_note}{retry_note}"
     )
     if report.dry_run:
         print("dry run: no rows were written")
@@ -608,12 +648,37 @@ def _cmd_learn(args) -> int:
     return 0
 
 
+def _handle_degraded(args, spec: Spec, error: ShardDegradedError) -> int:
+    """Report a degraded sharded run (docs/robustness.md#degradation-contract).
+
+    Exit code 1, but with the full story: which shards failed permanently
+    and why, the partial report in ``--report-json`` (its ``shard_failures``
+    list populated), and — when a checkpoint holds the completed shards —
+    the exact resume hint.
+    """
+    print(f"error: {error}", file=sys.stderr)
+    for failure in error.failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
+    if args.report_json:
+        _write_report_json(args.report_json, spec, error.report, None)
+    if error.resumable:
+        print(
+            "completed shards are checkpointed; re-run with --resume to "
+            "re-execute only the failed shard(s)",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def _cmd_run(args) -> int:
     spec = Spec.load(args.spec)
     _execution_mode(args, spec)  # usage errors before any plan work
     plan, provenance = _acquire_plan(args, spec, allow_learn=False)
     print(f"plan: {provenance}")
-    report, output = _execute(args, spec, plan)
+    try:
+        report, output = _execute(args, spec, plan)
+    except ShardDegradedError as error:
+        return _handle_degraded(args, spec, error)
     _print_report(report, output)
     if args.report_json:
         _write_report_json(args.report_json, spec, report, output)
@@ -626,7 +691,10 @@ def _cmd_migrate(args) -> int:
     start = time.perf_counter()
     plan, provenance = _acquire_plan(args, spec, allow_learn=True)
     print(f"plan: {provenance} in {time.perf_counter() - start:.2f}s")
-    report, output = _execute(args, spec, plan)
+    try:
+        report, output = _execute(args, spec, plan)
+    except ShardDegradedError as error:
+        return _handle_degraded(args, spec, error)
     _print_report(report, output)
     if args.report_json:
         _write_report_json(args.report_json, spec, report, output)
@@ -800,6 +868,25 @@ def build_parser() -> argparse.ArgumentParser:
             "shards whose spill file validates are not re-executed",
         )
         sub.add_argument(
+            "--shard-retries",
+            type=int,
+            help="sharded only: retries per shard after its first attempt "
+            "before the run degrades (default 2; docs/robustness.md)",
+        )
+        sub.add_argument(
+            "--shard-timeout",
+            type=float,
+            help="sharded only: seconds before a running shard attempt is "
+            "cancelled and re-dispatched (forces per-shard processes)",
+        )
+        sub.add_argument(
+            "--inject-faults",
+            metavar="SPEC",
+            help="sharded only: deterministic fault injection for chaos "
+            "testing, e.g. kill:shard=2:attempt=1,delay:shard=0:ms=500 "
+            "(also via REPRO_FAULTS; docs/robustness.md)",
+        )
+        sub.add_argument(
             "--report-json",
             help="write the execution report as JSON to this path (same "
             "schema as the service's job reports)",
@@ -892,6 +979,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         SQLiteBackendError,
         ColumnarBackendError,
         ShardError,
+        FaultError,
         SerializationError,
         SchemaError,
         VerificationError,

@@ -187,6 +187,16 @@ class ExecutionReport:
     shards_resumed: int = 0
     """Shards skipped because a checkpointed spill already covered them."""
 
+    shards_retried: int = 0
+    """Shard attempts re-dispatched by the supervisor (crash/timeout/transient)."""
+
+    shards_failed: int = 0
+    """Shards that exhausted their retries (the run degraded; see below)."""
+
+    shard_failures: List[dict] = field(default_factory=list)
+    """Structured :class:`~repro.runtime.supervisor.ShardFailure` records
+    (as dicts) for every permanently-failed shard, in shard order."""
+
     dry_run: bool = False
     """True when rows were counted but never written (``--dry-run``)."""
 
@@ -213,6 +223,9 @@ class ExecutionReport:
             "shards": self.shards,
             "shards_executed": self.shards_executed,
             "shards_resumed": self.shards_resumed,
+            "shards_retried": self.shards_retried,
+            "shards_failed": self.shards_failed,
+            "shard_failures": [dict(failure) for failure in self.shard_failures],
             "dry_run": self.dry_run,
         }
 

@@ -64,6 +64,10 @@ class Job:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     error: Optional[str] = None
+    error_detail: Optional[str] = None
+    """Full daemon-side traceback of a failure (``error`` is the one-liner);
+    persisted and returned by ``GET /jobs/<id>`` for debuggability."""
+
     report: Optional[Dict[str, object]] = None
     progress: Dict[str, object] = field(default_factory=dict)
     provenance: Optional[str] = None
@@ -83,6 +87,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "error_detail": self.error_detail,
             "report": self.report,
             "progress": self.progress,
             "provenance": self.provenance,
@@ -102,6 +107,7 @@ class Job:
             started_at=payload.get("started_at"),  # type: ignore[arg-type]
             finished_at=payload.get("finished_at"),  # type: ignore[arg-type]
             error=payload.get("error"),  # type: ignore[arg-type]
+            error_detail=payload.get("error_detail"),  # type: ignore[arg-type]
             report=payload.get("report"),  # type: ignore[arg-type]
             progress=dict(payload.get("progress") or {}),  # type: ignore[arg-type]
             provenance=payload.get("provenance"),  # type: ignore[arg-type]

@@ -28,6 +28,7 @@ import os
 import shutil
 import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
@@ -37,8 +38,9 @@ from ..backends.null import NullBackend
 from ..executor import ExecutionReport, execute_plan
 from ..plan import MigrationPlan
 from ..plan_cache import PlanCache, spec_fingerprint
-from ..sharded import shard_execute
+from ..sharded import ShardDegradedError, shard_execute
 from ..streaming import DEFAULT_CHUNK_SIZE, stream_execute
+from ..supervisor import RetryPolicy
 from ..verify import read_target_rows, verify_rows
 from .checkpoint import ShardCheckpoint
 from .jobs import TERMINAL_STATES, Job, JobError, JobStore
@@ -129,6 +131,8 @@ class JobRunner:
             )
         job.state = "queued"
         job.error = None
+        job.error_detail = None
+        job.report = None
         job.finished_at = None
         job.resumes += 1
         self.store.save(job)
@@ -167,9 +171,21 @@ class JobRunner:
         except JobCancelled:
             job.state = "cancelled"
             job.error = "cancelled"
+        except ShardDegradedError as error:
+            # A degraded sharded run is a failure, but a *structured* one:
+            # the partial report (with its shard_failures list) is kept so
+            # GET /jobs/<id>/report shows exactly which shards died and why,
+            # and the checkpoint still holds every completed shard.
+            job.state = "failed"
+            job.error = f"{type(error).__name__}: {error}"
+            job.error_detail = "\n".join(
+                failure.traceback or failure.describe() for failure in error.failures
+            ) or traceback.format_exc()
+            job.report = error.report.to_json()
         except Exception as error:  # noqa: BLE001 — any failure ends the job
             job.state = "failed"
             job.error = f"{type(error).__name__}: {error}"
+            job.error_detail = traceback.format_exc()
         else:
             job.state = "succeeded"
             job.report = report
@@ -312,6 +328,13 @@ class JobRunner:
         checkpoint = ShardCheckpoint(
             os.path.join(self.state_dir, "checkpoints", job.id)
         )
+        shard_timeout = params.get("shard_timeout")
+        shard_retries = params.get("shard_retries")
+        retry_policy = (
+            RetryPolicy(max_attempts=max(1, int(shard_retries) + 1))
+            if shard_retries is not None
+            else None
+        )
         return shard_execute(
             plan,
             spec.sharded_source(),
@@ -322,6 +345,9 @@ class JobRunner:
             checkpoint=checkpoint,
             resume=job.resumes > 0,
             progress=progress,
+            retry_policy=retry_policy,
+            shard_timeout=None if shard_timeout is None else float(shard_timeout),
+            faults=params.get("inject_faults"),
         )
 
     def _make_backend(

@@ -11,7 +11,8 @@ method    path                      effect
 GET       /health                   liveness + job-state counts
 GET       /jobs                     list job summaries
 POST      /jobs                     submit ``{"kind": ..., "params": {...}}``
-GET       /jobs/<id>                full job record (state, progress, error)
+GET       /jobs/<id>                full job record (state, progress, error,
+                                    error_detail — the daemon-side traceback)
 GET       /jobs/<id>/report         the finished job's report (409 until done)
 POST      /jobs/<id>/cancel         cooperative cancel at the next shard
 POST      /jobs/<id>/resume         re-enqueue interrupted/failed/cancelled
@@ -26,6 +27,12 @@ Recovery is part of boot, not an extra step: the runner marks jobs that were
 ``running`` when the previous daemon died as ``interrupted`` *before* the
 socket accepts work, so a client polling across a restart never observes a
 stale ``running`` state.
+
+Failures are debuggable in place: a failed job's record carries
+``error_detail`` (the full traceback), and a *degraded* sharded run — some
+shards exhausted their retries — keeps its partial execution report, so
+``GET /jobs/<id>/report`` exposes the structured ``shard_failures`` list
+even though the job state is ``failed``.  See docs/robustness.md.
 """
 
 from __future__ import annotations

@@ -37,11 +37,18 @@ reduce time — never as silently missing rows.
 Shardable inputs are wrapped as :class:`ShardSource`\\ s: an in-memory
 :class:`~repro.hdt.tree.HDT`, an XML or JSON document on disk, or a
 directory of documents (:func:`shard_source` picks the right one).
+
+The map stage is *supervised* (:class:`~repro.runtime.supervisor.
+ShardSupervisor`): each shard runs as isolated per-attempt processes with
+retries, per-shard timeouts, and — when a shard exhausts its attempts —
+graceful degradation into :class:`ShardDegradedError` instead of a mid-run
+abort.  Failures can be induced deterministically with a
+:class:`~repro.runtime.faults.FaultPlan` (``faults=`` / ``REPRO_FAULTS``).
+See docs/robustness.md.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 import shutil
@@ -59,6 +66,7 @@ from .executor import (
     compile_plan_executions,
     stream_table_rows,
 )
+from .faults import FaultContext, FaultPlan, activation as fault_activation, resolve_plan
 from .plan import MigrationPlan
 from .streaming import (
     DEFAULT_CHUNK_SIZE,
@@ -69,6 +77,7 @@ from .streaming import (
     iter_tree_chunks,
     iter_xml_chunks,
 )
+from .supervisor import RetryPolicy, ShardFailure, ShardSupervisor
 
 #: Rows per spilled batch — bounds both worker buffering and parent replay.
 SPILL_BATCH_ROWS = 4096
@@ -78,6 +87,34 @@ _SPILL_MAGIC = "repro-shard-spill/1"
 
 class ShardError(Exception):
     """Sharded execution failed: bad partitioning, corrupt or partial spills."""
+
+
+class ShardDegradedError(ShardError):
+    """Some shards failed permanently; the rest completed (and, with a
+    checkpoint, are preserved for ``resume``).  The degradation contract
+    (docs/robustness.md#degradation-contract): the backend is never touched
+    — no partial target is ever written — and ``failures`` /``report`` carry
+    the structured :class:`~repro.runtime.supervisor.ShardFailure` list and
+    the partial :class:`~repro.runtime.executor.ExecutionReport`."""
+
+    def __init__(
+        self,
+        failures: List[ShardFailure],
+        report: ExecutionReport,
+        *,
+        resumable: bool = False,
+    ) -> None:
+        self.failures = failures
+        self.report = report
+        self.resumable = resumable
+        summary = "; ".join(failure.describe() for failure in failures)
+        message = (
+            f"{len(failures)} of {report.shards} shard(s) failed permanently "
+            f"({summary})"
+        )
+        if resumable:
+            message += "; completed shards are checkpointed — fix the cause and resume"
+        super().__init__(message)
 
 
 # --------------------------------------------------------------------------- #
@@ -305,6 +342,7 @@ class SpillWriter:
         plan_fingerprint: str,
         *,
         batch_rows: int = SPILL_BATCH_ROWS,
+        faults: Optional[FaultContext] = None,
     ) -> None:
         self.path = path
         self.shard_index = shard_index
@@ -312,6 +350,7 @@ class SpillWriter:
         self.batch_rows = max(1, batch_rows)
         self.per_table_rows: Dict[str, int] = {}
         self.batches = 0
+        self._faults = faults
         self._handle = open(path, "wb")
         self._dump(
             (
@@ -327,6 +366,12 @@ class SpillWriter:
     def _dump(self, message) -> None:
         pickle.dump(message, self._handle, protocol=pickle.HIGHEST_PROTOCOL)
 
+    def _spill_batch(self, table: str, batch: List[Row]) -> None:
+        if self._faults is not None:
+            self._faults.spill_write(self._handle)
+        self._dump(("rows", table, batch))
+        self.batches += 1
+
     def write_rows(self, table: str, rows) -> int:
         """Spill a row stream in bounded batches; returns the rows written."""
         written = 0
@@ -334,13 +379,11 @@ class SpillWriter:
         for row in rows:
             batch.append(row)
             if len(batch) >= self.batch_rows:
-                self._dump(("rows", table, batch))
-                self.batches += 1
+                self._spill_batch(table, batch)
                 written += len(batch)
                 batch = []
         if batch:
-            self._dump(("rows", table, batch))
-            self.batches += 1
+            self._spill_batch(table, batch)
             written += len(batch)
         self.per_table_rows[table] = self.per_table_rows.get(table, 0) + written
         return written
@@ -513,6 +556,9 @@ def execute_shard(
     spill_path: str,
     plan_fingerprint: Optional[str] = None,
     executions=None,
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 1,
+    in_process: bool = False,
 ) -> Dict[str, object]:
     """Execute one shard's record window and spill its deduplicated rows.
 
@@ -520,16 +566,27 @@ def execute_shard(
     stream_execute` over its chunks — per-table fused pipelines through a
     shard-local :class:`ChunkMerger` — except rows land in the spill file
     instead of a backend.  Returns the end manifest.
+
+    ``faults``/``attempt``/``in_process`` wire the fault-injection harness
+    into this attempt (worker-start and spill-write sites); a ``None`` plan
+    costs a single ``is None`` check per site.
     """
     if executions is None:
         executions = compile_plan_executions(plan)
     if plan_fingerprint is None:
         plan_fingerprint = plan.content_fingerprint()
+    context = (
+        FaultContext(faults, shard=spec.index, attempt=attempt, in_process=in_process)
+        if faults
+        else None
+    )
+    if context is not None:
+        context.worker_start()
     merger = ChunkMerger(plan.schema)
     order = plan.execution_order()
     key_columns = _surrogate_key_columns(plan.schema)
     key_prefix = f"s{spec.index}:"
-    writer = SpillWriter(spill_path, spec.index, plan_fingerprint)
+    writer = SpillWriter(spill_path, spec.index, plan_fingerprint, faults=context)
     chunks = 0
     records = 0
     for chunk in source.iter_chunks(spec.start, spec.stop, chunk_size):
@@ -554,33 +611,26 @@ def execute_shard(
     return writer.finish(chunks=chunks, records=records)
 
 
-# The plan/source are invariant across a worker's shards; ship them once via
-# the pool initializer and compile the plan's programs once per worker.
-_WORKER_STATE: dict = {}
+def _attempt_shard(payload: Dict[str, object], attempt: int) -> Dict[str, object]:
+    """One supervised shard attempt (the :class:`ShardSupervisor` worker).
 
-
-def _init_shard_worker(plan, source, chunk_size, spill_dir, fingerprint) -> None:
-    _WORKER_STATE.update(
-        plan=plan,
-        source=source,
-        chunk_size=chunk_size,
-        spill_dir=spill_dir,
-        fingerprint=fingerprint,
-        executions=compile_plan_executions(plan),
-    )
-
-
-def _run_shard_task(spec: ShardSpec) -> Dict[str, object]:
-    state = _WORKER_STATE
-    assert state, "shard worker pool was not initialized"
+    Module-level and payload-driven so subprocess mode can pickle it under
+    any start method.  Compiled executions ride along only on the in-process
+    path (compiled programs hold closures, which do not pickle); a worker
+    process compiles the plan itself, once per attempt.  ``execute_shard``
+    is resolved late through the module so tests can monkeypatch it.
+    """
     return execute_shard(
-        state["plan"],
-        state["source"],
-        spec,
-        chunk_size=state["chunk_size"],
-        spill_path=_spill_path(state["spill_dir"], spec.index),
-        plan_fingerprint=state["fingerprint"],
-        executions=state["executions"],
+        payload["plan"],
+        payload["source"],
+        payload["spec"],
+        chunk_size=payload["chunk_size"],
+        spill_path=payload["spill_path"],
+        plan_fingerprint=payload["fingerprint"],
+        executions=payload.get("executions"),
+        faults=payload.get("faults"),
+        attempt=attempt,
+        in_process=bool(payload.get("in_process")),
     )
 
 
@@ -601,15 +651,30 @@ def shard_execute(
     checkpoint=None,
     resume: bool = False,
     progress: Optional[Callable[[int, int], None]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    shard_timeout: Optional[float] = None,
+    faults: Union[FaultPlan, str, None] = None,
 ) -> ExecutionReport:
     """Execute a plan over record shards in parallel processes.
 
-    ``workers`` caps the process pool (default: one per shard, bounded by
-    the CPU count; ``0``/``1`` executes the shards in-process, still through
-    the full spill/reduce protocol — useful for tests and for machines where
-    fork is expensive).  ``spill_dir`` keeps the per-shard spill files in a
-    caller-managed directory; by default a temporary directory is used and
-    removed when execution finishes.
+    ``workers`` caps concurrent shard processes (default: one per shard,
+    bounded by the CPU count; ``0``/``1`` executes the shards in-process,
+    still through the full spill/reduce protocol — useful for tests and for
+    machines where fork is expensive).  ``spill_dir`` keeps the per-shard
+    spill files in a caller-managed directory; by default a temporary
+    directory is used and removed when execution finishes.
+
+    The map stage is supervised (docs/robustness.md): a shard attempt that
+    dies, times out (``shard_timeout`` seconds — forces process isolation),
+    or raises a transient error is re-dispatched under ``retry_policy``
+    (default :class:`~repro.runtime.supervisor.RetryPolicy`: 3 attempts,
+    exponential backoff with deterministic jitter).  A shard that exhausts
+    its attempts degrades the run: every other shard still completes (and
+    checkpoints), no backend write happens, and :class:`ShardDegradedError`
+    carries the structured failure list plus the partial report.  ``faults``
+    (a :class:`~repro.runtime.faults.FaultPlan`, a spec string, or the
+    ``REPRO_FAULTS`` environment variable) injects deterministic failures
+    for testing; unset, the hooks cost nothing.
 
     ``checkpoint`` makes the run *resumable*: pass a
     :class:`~repro.runtime.service.checkpoint.ShardCheckpoint` (or anything
@@ -646,6 +711,10 @@ def shard_execute(
         raise ShardError("resume=True needs a checkpoint")
     if checkpoint is not None and spill_dir is not None:
         raise ShardError("checkpoint and spill_dir are mutually exclusive")
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ShardError(f"shard_timeout must be positive (got {shard_timeout})")
+    fault_plan = resolve_plan(faults)
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
     backend = backend if backend is not None else MemoryBackend()
     start = time.perf_counter()
     total_records = resolved.count_records()
@@ -675,61 +744,81 @@ def shard_execute(
     report.per_table_rows = {t.name: 0 for t in plan.schema.tables}
     manifests: Dict[int, Dict[str, object]] = dict(completed)
 
-    def _shard_done(manifest: Dict[str, object], index: Optional[int] = None) -> None:
-        if index is None:
-            index = int(manifest["shard"])  # type: ignore[arg-type]
+    def _shard_done(index: int, manifest: Dict[str, object]) -> None:
         manifests[index] = manifest
         if checkpoint is not None:
             checkpoint.mark_complete(index, manifest)
         if progress is not None:
             progress(len(manifests), len(specs))
 
+    # Process isolation is what makes timeouts enforceable and worker death
+    # survivable; the serial path keeps tests and 1-worker runs cheap.
+    use_processes = bool(pending) and (workers > 1 or shard_timeout is not None)
+    tasks: List[Tuple[int, Dict[str, object]]] = []
+    shared_executions = None
+    if pending and not use_processes:
+        shared_executions = compile_plan_executions(plan)
+    for spec in pending:
+        payload: Dict[str, object] = {
+            "plan": plan,
+            "source": resolved,
+            "spec": spec,
+            "chunk_size": chunk_size,
+            "spill_path": _spill_path(directory, spec.index),
+            "fingerprint": fingerprint,
+            "faults": fault_plan,
+            "in_process": not use_processes,
+        }
+        if shared_executions is not None:
+            payload["executions"] = shared_executions
+        tasks.append((spec.index, payload))
+
+    supervisor = ShardSupervisor(
+        _attempt_shard,
+        policy=policy,
+        concurrency=max(1, min(workers, len(pending)) if pending else 1),
+        timeout=shard_timeout if use_processes else None,
+        scratch_dir=directory,
+        on_complete=_shard_done,
+        in_process=not use_processes,
+    )
     try:
         if progress is not None:
             progress(len(manifests), len(specs))
-        # Map: fill the spill files (parallel across the not-yet-done shards).
-        # Completion is consumed shard by shard (``imap_unordered``) so the
-        # checkpoint manifest — and the caller's progress — advance the
-        # moment each shard finishes, not when the whole pool drains.
-        if workers > 1 and pending:
-            with multiprocessing.Pool(
-                processes=min(workers, len(pending)),
-                initializer=_init_shard_worker,
-                initargs=(plan, resolved, chunk_size, directory, fingerprint),
-            ) as pool:
-                for manifest in pool.imap_unordered(_run_shard_task, pending):
-                    _shard_done(manifest)
-        else:
-            executions = compile_plan_executions(plan) if pending else {}
-            for spec in pending:
-                _shard_done(
-                    execute_shard(
-                        plan,
-                        resolved,
-                        spec,
-                        chunk_size=chunk_size,
-                        spill_path=_spill_path(directory, spec.index),
-                        plan_fingerprint=fingerprint,
-                        executions=executions,
-                    ),
-                    spec.index,
+        # Map: fill the spill files under supervision.  ``_shard_done`` runs
+        # in this process the moment each shard finishes, so the checkpoint
+        # manifest — and the caller's progress — never wait on stragglers.
+        # The ambient fault activation covers the reduce stage's
+        # backend-insert hook (the map stage carries the plan explicitly).
+        with fault_activation(fault_plan):
+            outcome = supervisor.run(tasks)
+            report.shards_retried = outcome.retries
+            report.chunks = sum(int(m["chunks"]) for m in manifests.values())
+            if outcome.failures:
+                # Degrade, never partially write: completed shards are already
+                # checkpointed, the backend was never opened.
+                report.shards_failed = len(outcome.failures)
+                report.shard_failures = [f.to_json() for f in outcome.failures]
+                raise ShardDegradedError(
+                    sorted(outcome.failures, key=lambda f: f.shard),
+                    report,
+                    resumable=checkpoint is not None,
                 )
-        report.chunks = sum(int(m["chunks"]) for m in manifests.values())
-        # Reduce: replay spills in shard order through the cross-shard
-        # merger, streaming batch by batch into the backend.
-        backend.begin(plan.schema)
-        merger = ChunkMerger(plan.schema)
-        for spec in specs:
-            replay = iter_spill(
-                _spill_path(directory, spec.index),
-                plan_fingerprint=fingerprint,
-                shard_index=spec.index,
-            )
-            for table, rows in replay:
-                report.per_table_rows[table] += backend.insert_rows(
-                    table, merger.iter_merge(table, rows)
+            # Reduce: replay spills in shard order through the cross-shard
+            # merger, streaming batch by batch into the backend.
+            backend.begin(plan.schema)
+            merger = ChunkMerger(plan.schema)
+            for spec in specs:
+                replay = iter_spill(
+                    _spill_path(directory, spec.index),
+                    plan_fingerprint=fingerprint,
+                    shard_index=spec.index,
                 )
-        backend.finalize()
+                for table, rows in replay:
+                    report.per_table_rows[table] += backend.insert_rows(
+                        table, merger.iter_merge(table, rows)
+                    )
+            backend.finalize()
     finally:
         if own_spill_dir:
             shutil.rmtree(directory, ignore_errors=True)

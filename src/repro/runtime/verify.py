@@ -25,11 +25,17 @@ the columnar hook reads files, the memory backend is checked in process.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..relational.schema import DatabaseSchema
 from .backends.base import ExecutionBackend, Row
+from .supervisor import RetryPolicy
+
+#: Target reads retry briefly on transient errors (a SQLite target still
+#: being written holds the lock only for moments at a time).
+_READ_RETRY_POLICY = RetryPolicy(max_attempts=4, base_delay=0.1, max_delay=1.0)
 
 
 class VerificationError(Exception):
@@ -192,14 +198,40 @@ def verify_rows(
 
 
 def read_target_rows(
-    backend_name: str, output: Optional[str], schema: DatabaseSchema
+    backend_name: str,
+    output: Optional[str],
+    schema: DatabaseSchema,
+    *,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Dict[str, List[Row]]:
     """Read a finished target back through its backend's read-side hook.
 
     ``backend_name`` is the registry name (``sqlite`` / ``columnar``);
     ``output`` is the artifact path.  The memory backend has no durable
     artifact — verify it in process with :func:`verify_backend`.
+
+    Transient read errors (a locked SQLite target, per
+    :meth:`RetryPolicy.is_retryable` — which follows ``__cause__`` chains,
+    so wrapped lock errors count) are retried with backoff before giving up.
     """
+    policy = retry_policy if retry_policy is not None else _READ_RETRY_POLICY
+    attempt = 1
+    while True:
+        try:
+            return _read_target_rows_once(backend_name, output, schema)
+        except VerificationError:
+            raise
+        except Exception as error:  # noqa: BLE001 - classified right below
+            if policy.is_retryable(error) and attempt < policy.max_attempts:
+                time.sleep(policy.delay_for(0, attempt))
+                attempt += 1
+                continue
+            raise
+
+
+def _read_target_rows_once(
+    backend_name: str, output: Optional[str], schema: DatabaseSchema
+) -> Dict[str, List[Row]]:
     if backend_name == "sqlite":
         if output is None:
             raise VerificationError("verifying a sqlite target needs its file path")

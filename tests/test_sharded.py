@@ -825,14 +825,19 @@ def test_cli_checkpoint_resume_end_to_end(tmp_path, capsys, monkeypatch):
         return real_execute(plan, source, spec_, **kwargs)
 
     monkeypatch.setattr("repro.runtime.sharded.execute_shard", flaky)
-    with pytest.raises(RuntimeError, match="simulated"):
+    assert (
         cli_main(
             ["migrate", "--spec", spec, "--shards", "3", "--workers", "1",
              "--backend", "sqlite", "--output", str(out),
              "--checkpoint-dir", str(ckpt)]
         )
+        == 1
+    )
+    degraded = capsys.readouterr()
+    assert "failed permanently" in degraded.err
+    assert "simulated worker crash" in degraded.err
+    assert "--resume" in degraded.err
     monkeypatch.setattr("repro.runtime.sharded.execute_shard", real_execute)
-    capsys.readouterr()
     assert (
         cli_main(
             ["migrate", "--spec", spec, "--shards", "3", "--workers", "1",

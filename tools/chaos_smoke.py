@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Fault-injection smoke test for the migration service (CI job ``chaos-smoke``).
+
+Extends ``tools/service_smoke.py`` (whose helpers it imports): instead of
+killing the *daemon*, it injects faults into the *shard workers* through
+the deterministic fault-injection harness (docs/robustness.md) and holds
+the supervision layer to its contract against a live daemon:
+
+1. boot ``repro serve`` as a subprocess on an OS-assigned port;
+2. submit a sharded migrate job with an injected worker kill plus a shard
+   delay (``kill:shard=1:attempt=1,delay:shard=0:ms=500``) and two
+   workers, so a real worker process dies mid-spill;
+3. assert the job **succeeds anyway**, with ``shards_retried >= 1`` and
+   zero ``shard_failures`` in its report;
+4. submit a ``verify`` job referencing it and assert it passes — the
+   retried run's target is a valid, complete database;
+5. submit a second migrate job with a **non-retryable** plan
+   (``fail:shard=1``) and assert it ends ``failed`` with a populated
+   ``error_detail`` and a report whose ``shard_failures`` names shard 1;
+6. shut the daemon down cleanly over HTTP.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_smoke.py
+
+Exit code 0 on success; any assertion failure prints ``smoke: FAIL ...``
+and exits 1.
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+
+from service_smoke import SmokeFailure, boot_daemon, http, log, poll_job
+
+
+def finished(record):
+    return record["state"] in ("succeeded", "failed", "cancelled")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=8, help="dblp dataset scale")
+    parser.add_argument("--shards", type=int, default=4, help="shard count")
+    parser.add_argument(
+        "--timeout", type=float, default=240.0, help="overall deadline in seconds"
+    )
+    args = parser.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as state_dir:
+        process, base = boot_daemon(state_dir, deadline)
+        try:
+            # --- scenario A: retryable faults; the job must converge -------
+            plan = "kill:shard=1:attempt=1,delay:shard=0:ms=500"
+            status, job = http("POST", f"{base}/jobs", {
+                "kind": "migrate",
+                "params": {
+                    "spec": {"dataset": "dblp", "scale": args.scale},
+                    "backend": "sqlite",
+                    "shards": args.shards,
+                    "workers": 2,
+                    "inject_faults": plan,
+                },
+            })
+            if status != 201:
+                raise SmokeFailure(f"submit -> {status}: {job}")
+            job_id = job["id"]
+            log(f"submitted {job_id} with injected faults: {plan}")
+
+            job = poll_job(base, job_id, finished, deadline)
+            if job["state"] != "succeeded":
+                raise SmokeFailure(
+                    f"fault-injected job ended {job['state']}: {job.get('error')}"
+                )
+            status, report = http("GET", f"{base}/jobs/{job_id}/report")
+            if status != 200:
+                raise SmokeFailure(f"report -> {status}: {report}")
+            retried = report.get("shards_retried", 0)
+            if retried < 1:
+                raise SmokeFailure(
+                    f"killed worker was not retried (shards_retried={retried})"
+                )
+            if report.get("shards_failed") or report.get("shard_failures"):
+                raise SmokeFailure(f"unexpected permanent failures: {report}")
+            log(f"{job_id} succeeded despite worker kill: "
+                f"{retried} shard attempt(s) retried, "
+                f"{report['total_rows']} rows")
+
+            status, verify = http("POST", f"{base}/jobs", {
+                "kind": "verify", "params": {"job": job_id},
+            })
+            if status != 201:
+                raise SmokeFailure(f"verify submit -> {status}: {verify}")
+            verify = poll_job(base, verify["id"], finished, deadline)
+            if verify["state"] != "succeeded":
+                raise SmokeFailure(
+                    f"verify job ended {verify['state']}: {verify.get('error')}"
+                )
+            status, verdict = http("GET", f"{base}/jobs/{verify['id']}/report")
+            if status != 200 or not verdict.get("passed"):
+                raise SmokeFailure(f"verification did not pass: {verdict}")
+            log(f"verification passed for {job_id}'s retried target")
+
+            # --- scenario B: non-retryable fault; structured degradation ---
+            status, job = http("POST", f"{base}/jobs", {
+                "kind": "migrate",
+                "params": {
+                    "spec": {"dataset": "dblp", "scale": args.scale},
+                    "backend": "sqlite",
+                    "shards": args.shards,
+                    "workers": 1,
+                    "inject_faults": "fail:shard=1",
+                },
+            })
+            if status != 201:
+                raise SmokeFailure(f"submit -> {status}: {job}")
+            job_id = job["id"]
+            log(f"submitted {job_id} with non-retryable fault: fail:shard=1")
+
+            job = poll_job(base, job_id, finished, deadline)
+            if job["state"] != "failed":
+                raise SmokeFailure(
+                    f"permanently-faulted job ended {job['state']}, not failed"
+                )
+            if not job.get("error_detail"):
+                raise SmokeFailure("failed job has no error_detail")
+            status, report = http("GET", f"{base}/jobs/{job_id}/report")
+            if status != 200:
+                raise SmokeFailure(
+                    f"degraded job kept no report -> {status}: {report}"
+                )
+            failures = report.get("shard_failures") or []
+            if not failures:
+                raise SmokeFailure(f"degraded report has no shard_failures: {report}")
+            if failures[0].get("shard") != 1:
+                raise SmokeFailure(f"wrong shard in failure record: {failures}")
+            if failures[0].get("error_type") != "FaultInjected":
+                raise SmokeFailure(f"wrong error_type in failure record: {failures}")
+            log(f"{job_id} degraded as specified: shard 1 failed permanently, "
+                f"{report.get('shards_failed')} failed / "
+                f"{report.get('shards', 0)} total, report retained")
+
+            http("POST", f"{base}/shutdown")
+            process.wait(timeout=30)
+            if process.returncode != 0:
+                raise SmokeFailure(
+                    f"daemon exited {process.returncode} after /shutdown"
+                )
+            log("daemon shut down cleanly — PASS")
+        except BaseException:
+            process.kill()
+            raise
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except SmokeFailure as failure:
+        print(f"smoke: FAIL {failure}", file=sys.stderr)
+        raise SystemExit(1)

@@ -60,6 +60,13 @@ REQUIRED_ANCHORS = {
         "dry-runs",
         "verification",
     ],
+    "docs/robustness.md": [
+        "retry-policy",
+        "error-classification",
+        "timeout-semantics",
+        "fault-injection-spec-grammar",
+        "degradation-contract",
+    ],
 }
 
 LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
