@@ -123,117 +123,15 @@ def _smoke():
 
 
 def _suite_table1(seed_budget):
-    """Run the 98 Table 1 tasks through vectorized / warm / seed engines."""
-    import statistics
+    """Run the 98 Table 1 tasks through vectorized / warm / seed engines.
 
-    from repro.benchmarks_suite import load_suite
-    from repro.synthesis import ExamplePair, SynthesisTask, Synthesizer
-    from repro.synthesis.config import DEFAULT_CONFIG
-    from repro.synthesis.serialize import context_dumps, context_loads
+    The implementation lives in ``benchmarks/bench_table1.py`` (which also
+    offers ``--only`` filtering, ``--jobs`` and the per-phase timing
+    breakdown); this flag is kept as the historical entry point.
+    """
+    from bench_table1 import run_suite
 
-    config = DEFAULT_CONFIG
-    seed_config = config.seed_variant()
-    tasks = load_suite()
-    print(f"table1 suite: {len(tasks)} tasks, seed budget {seed_budget}s/task")
-
-    def signature(result):
-        if not result.success or result.program is None:
-            return ("unsolved",)
-        return (pretty_program(result.program), program_cost(result.program))
-
-    records = []
-    mismatches = []
-    seed_skipped = 0
-    for task in tasks:
-        synthesis_task = SynthesisTask(
-            examples=[ExamplePair(task.tree, [tuple(r) for r in task.rows])],
-            name=task.name,
-        )
-        cold_synthesizer = Synthesizer(config)
-        start = time.perf_counter()
-        cold = cold_synthesizer.synthesize(synthesis_task)
-        cold_seconds = time.perf_counter() - start
-
-        # Warm: serialize the cold run's context, rehydrate, re-synthesize —
-        # the single-task analogue of a --incremental re-learn.
-        payload = context_dumps(cold_synthesizer.context, indent=0)
-        start = time.perf_counter()
-        warm_context = context_loads(payload, [task.tree])
-        warm = Synthesizer(config, context=warm_context).synthesize(synthesis_task)
-        warm_seconds = time.perf_counter() - start
-        if signature(warm) != signature(cold):
-            mismatches.append(f"{task.name}: warm != cold")
-
-        seed_seconds = None
-        if cold_seconds <= seed_budget:
-            start = time.perf_counter()
-            seed = Synthesizer(seed_config).synthesize(synthesis_task)
-            seed_seconds = time.perf_counter() - start
-            if signature(seed) != signature(cold):
-                mismatches.append(f"{task.name}: seed != vectorized")
-        else:
-            seed_skipped += 1
-
-        records.append(
-            {
-                "task": task.name,
-                "format": task.format,
-                "columns": task.num_columns,
-                "solved": cold.success,
-                "vectorized_seconds": round(cold_seconds, 4),
-                "warm_seconds": round(warm_seconds, 4),
-                "seed_seconds": None if seed_seconds is None else round(seed_seconds, 4),
-            }
-        )
-
-    solved = sum(1 for r in records if r["solved"])
-    seed_pairs = [
-        (r["seed_seconds"], r["vectorized_seconds"])
-        for r in records
-        if r["seed_seconds"] is not None
-    ]
-    warm_ratio = statistics.median(
-        r["warm_seconds"] / max(r["vectorized_seconds"], 1e-9) for r in records
-    )
-    summary = {
-        "tasks": len(records),
-        "solved": solved,
-        "vectorized_total_seconds": round(sum(r["vectorized_seconds"] for r in records), 2),
-        "warm_total_seconds": round(sum(r["warm_seconds"] for r in records), 2),
-        "median_warm_over_cold": round(warm_ratio, 3),
-        "seed_tasks_run": len(seed_pairs),
-        "seed_tasks_skipped_over_budget": seed_skipped,
-        "seed_total_seconds": round(sum(s for s, _ in seed_pairs), 2),
-        "seed_median_speedup": round(
-            statistics.median(s / max(v, 1e-9) for s, v in seed_pairs), 2
-        )
-        if seed_pairs
-        else None,
-        "mismatches": mismatches,
-    }
-    payload = {
-        "benchmark": "synthesis_table1_suite",
-        "engines": ["vectorized", "warm (rehydrated context)", "seed"],
-        "seed_budget_seconds": seed_budget,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "summary": summary,
-        "tasks": records,
-    }
-    with open(TABLE1_RECORD_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(
-        f"  solved {solved}/{len(records)}; vectorized "
-        f"{summary['vectorized_total_seconds']}s, warm {summary['warm_total_seconds']}s "
-        f"(median warm/cold {summary['median_warm_over_cold']}), seed on "
-        f"{len(seed_pairs)} tasks ({seed_skipped} over budget), "
-        f"median seed speedup {summary['seed_median_speedup']}x"
-    )
-    print(f"wrote {TABLE1_RECORD_PATH}")
-    if mismatches:
-        print(f"FAIL: {len(mismatches)} engine mismatches: {mismatches[:5]}")
-        return 1
-    return 0
+    return run_suite(seed_budget)
 
 
 def main(argv=None):

@@ -1,26 +1,323 @@
-"""Benchmark E1: Table 1 — synthesis over the StackOverflow-style suite.
+"""Benchmark E1: Table 1 — the 98-task StackOverflow-style synthesis suite.
 
-``pytest benchmarks/bench_table1.py --benchmark-only`` times synthesis on a
-representative sample of the 98-task suite (one per format/bucket) and, as a
-side effect, prints the full aggregated Table 1 report for the sample.
+Standalone CLI (also reachable as ``bench_synthesis.py --suite table1``).
+Every task runs through up to three engines:
 
-For the complete 98-task run use ``python examples/run_table1.py``.
+* **vectorized** — a cold default-config run, with the per-phase wall-clock
+  breakdown (universe construction / bitmatrix evaluation / pair cover)
+  taken from :class:`~repro.synthesis.synthesizer.SynthesisStats`;
+* **warm** — a second vectorized run seeded from the first run's serialized
+  :class:`~repro.synthesis.context.SynthesisContext` (the single-task
+  analogue of ``repro learn --incremental``), required to be identical;
+* **seed** — the eager reference algorithms, run only on tasks whose
+  vectorized time is within ``--seed-budget`` seconds (skips are counted
+  and reported — no silent truncation), also required to be identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_table1.py                  # full suite
+    PYTHONPATH=src python benchmarks/bench_table1.py --only 'xml_sensors_5c*'
+    PYTHONPATH=src python benchmarks/bench_table1.py --jobs 4         # parallel ψ stage
+
+The full run writes ``BENCH_TABLE1.json`` at the repository root; a
+``--only`` subset prints its records without touching the committed file
+unless ``--output`` is given explicitly.  ``--jobs`` fans each task's
+candidate table extractors out over worker processes — the learned programs
+are byte-identical to serial by construction (see ``docs/synthesis.md``).
 """
 
-import pytest
+import argparse
+import fnmatch
+import hashlib
+import json
+import os
+import statistics
+import sys
+import time
 
-from repro.benchmarks_suite import load_suite
-from repro.evaluation.table1 import run_task
-from repro.synthesis import SynthesisConfig
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-_TASKS = [t for t in load_suite() if t.expressible]
-_SAMPLE = {f"{t.format}-{t.bucket}": t for t in _TASKS}  # one task per bucket
+from repro.benchmarks_suite import load_suite  # noqa: E402
+from repro.dsl.cost import program_cost  # noqa: E402
+from repro.dsl.pretty import pretty_program  # noqa: E402
+from repro.synthesis import ExamplePair, SynthesisTask, Synthesizer  # noqa: E402
+from repro.synthesis.config import DEFAULT_CONFIG  # noqa: E402
+from repro.synthesis.serialize import context_dumps, context_loads  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+TABLE1_RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_TABLE1.json")
+
+PHASES = ("universe", "bitmatrix", "cover")
+
+# --tail-gate: the predicate-learning tail-regression guard (CI synth-smoke).
+# Before the candidate-level caching work this task took ~80 s; the budget
+# is set an order of magnitude above today's time but an order of magnitude
+# below the old one, so only a genuine tail regression trips it.  The
+# fingerprint pins the learned program text + θ-cost — any drift in the
+# cover solver or candidate ordering shows up as a mismatch, not a silent
+# re-baseline.
+TAIL_GATE_TASK = "xml_sensors_5c_v3"
+TAIL_GATE_BUDGET_SECONDS = 20.0
+TAIL_GATE_FINGERPRINT = (
+    "fd510113acf93cc83649aeddcb87bc6b3b51d92b7c78602ccdb900f769cd90a6"
+)
 
 
-@pytest.mark.parametrize("key", sorted(_SAMPLE))
-def test_table1_synthesis(benchmark, key):
-    task = _SAMPLE[key]
-    result = benchmark.pedantic(
-        run_task, args=(task, SynthesisConfig.fast()), rounds=1, iterations=1
+def _fingerprint(result):
+    digest = hashlib.sha256()
+    for part in _signature(result):
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _signature(result):
+    if not result.success or result.program is None:
+        return ("unsolved",)
+    return (pretty_program(result.program), program_cost(result.program))
+
+
+def _phases_of(result):
+    stats = result.stats
+    if stats is None:
+        return {name: 0.0 for name in PHASES}
+    return {
+        "universe": round(stats.universe_seconds, 4),
+        "bitmatrix": round(stats.bitmatrix_seconds, 4),
+        "cover": round(stats.cover_seconds, 4),
+    }
+
+
+def run_suite(seed_budget, only=None, jobs=1, output=TABLE1_RECORD_PATH):
+    """Run the Table 1 suite; returns the process exit code."""
+    config = DEFAULT_CONFIG
+    seed_config = config.seed_variant()
+    tasks = load_suite()
+    if only:
+        tasks = [t for t in tasks if fnmatch.fnmatch(t.name, only)]
+        if not tasks:
+            print(f"no task matches --only {only!r}")
+            return 1
+    print(
+        f"table1 suite: {len(tasks)} tasks, seed budget {seed_budget}s/task"
+        + (f", jobs={jobs}" if jobs != 1 else "")
     )
-    assert result.solved, result.message
+
+    records = []
+    mismatches = []
+    seed_skipped = 0
+    seed_truncated = 0
+    for task in tasks:
+        synthesis_task = SynthesisTask(
+            examples=[ExamplePair(task.tree, [tuple(r) for r in task.rows])],
+            name=task.name,
+        )
+        cold_synthesizer = Synthesizer(config, jobs=jobs)
+        start = time.perf_counter()
+        cold = cold_synthesizer.synthesize(synthesis_task)
+        cold_seconds = time.perf_counter() - start
+
+        # Warm: serialize the cold run's context, rehydrate, re-synthesize —
+        # the single-task analogue of a --incremental re-learn.
+        payload = context_dumps(cold_synthesizer.context, indent=0)
+        start = time.perf_counter()
+        warm_context = context_loads(payload, [task.tree])
+        warm = Synthesizer(config, context=warm_context, jobs=jobs).synthesize(
+            synthesis_task
+        )
+        warm_seconds = time.perf_counter() - start
+        if _signature(warm) != _signature(cold):
+            mismatches.append(f"{task.name}: warm != cold")
+
+        seed_seconds = None
+        if cold_seconds <= seed_budget:
+            start = time.perf_counter()
+            seed = Synthesizer(seed_config).synthesize(synthesis_task)
+            seed_seconds = time.perf_counter() - start
+            if _signature(seed) != _signature(cold):
+                if seed_seconds >= seed_config.timeout_seconds:
+                    # The seed engine's search was cut off by its wall-clock
+                    # timeout before reaching the vectorized winner — a speed
+                    # difference, not an identity violation.  Counted, never
+                    # silently ignored.
+                    seed_truncated += 1
+                else:
+                    mismatches.append(f"{task.name}: seed != vectorized")
+        else:
+            seed_skipped += 1
+
+        records.append(
+            {
+                "task": task.name,
+                "format": task.format,
+                "columns": task.num_columns,
+                "solved": cold.success,
+                "candidates_tried": cold.candidates_tried,
+                "vectorized_seconds": round(cold_seconds, 4),
+                "warm_seconds": round(warm_seconds, 4),
+                "seed_seconds": None if seed_seconds is None else round(seed_seconds, 4),
+                "phases": _phases_of(cold),
+            }
+        )
+
+    solved = sum(1 for r in records if r["solved"])
+    seed_pairs = [
+        (r["seed_seconds"], r["vectorized_seconds"])
+        for r in records
+        if r["seed_seconds"] is not None
+    ]
+    warm_ratio = statistics.median(
+        r["warm_seconds"] / max(r["vectorized_seconds"], 1e-9) for r in records
+    )
+    phase_totals = {
+        name: round(sum(r["phases"][name] for r in records), 2) for name in PHASES
+    }
+    summary = {
+        "tasks": len(records),
+        "solved": solved,
+        "vectorized_total_seconds": round(sum(r["vectorized_seconds"] for r in records), 2),
+        "warm_total_seconds": round(sum(r["warm_seconds"] for r in records), 2),
+        "median_warm_over_cold": round(warm_ratio, 3),
+        "phase_totals_seconds": phase_totals,
+        "seed_tasks_run": len(seed_pairs),
+        "seed_tasks_skipped_over_budget": seed_skipped,
+        "seed_tasks_timeout_truncated": seed_truncated,
+        "seed_total_seconds": round(sum(s for s, _ in seed_pairs), 2),
+        "seed_median_speedup": round(
+            statistics.median(s / max(v, 1e-9) for s, v in seed_pairs), 2
+        )
+        if seed_pairs
+        else None,
+        "mismatches": mismatches,
+    }
+    payload = {
+        "benchmark": "synthesis_table1_suite",
+        "engines": ["vectorized", "warm (rehydrated context)", "seed"],
+        "seed_budget_seconds": seed_budget,
+        "jobs": jobs,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "summary": summary,
+        "tasks": records,
+    }
+    if only and output == TABLE1_RECORD_PATH:
+        # A filtered run is a probe, not the committed record: print, don't
+        # clobber.
+        print(json.dumps(payload, indent=2))
+        output = None
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print(
+        f"  solved {solved}/{len(records)}; vectorized "
+        f"{summary['vectorized_total_seconds']}s "
+        f"(universe {phase_totals['universe']}s, bitmatrix "
+        f"{phase_totals['bitmatrix']}s, cover {phase_totals['cover']}s), "
+        f"warm {summary['warm_total_seconds']}s "
+        f"(median warm/cold {summary['median_warm_over_cold']}), seed on "
+        f"{len(seed_pairs)} tasks ({seed_skipped} over budget), "
+        f"median seed speedup {summary['seed_median_speedup']}x"
+    )
+    if output:
+        print(f"wrote {output}")
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} engine mismatches: {mismatches[:5]}")
+        return 1
+    return 0
+
+
+def tail_gate():
+    """CI guard for the predicate-learning tail; returns the exit code.
+
+    Synthesizes :data:`TAIL_GATE_TASK` (a 5-column task from the slow tail
+    of Table 1) cold with the default config, then again with ``jobs=2``,
+    and fails if either run exceeds :data:`TAIL_GATE_BUDGET_SECONDS`,
+    either program's fingerprint differs from the committed
+    :data:`TAIL_GATE_FINGERPRINT`, or serial and parallel disagree.
+    """
+    task = next((t for t in load_suite() if t.name == TAIL_GATE_TASK), None)
+    if task is None:
+        print(f"TAIL GATE FAIL: task {TAIL_GATE_TASK!r} not in the suite")
+        return 1
+    synthesis_task = SynthesisTask(
+        examples=[ExamplePair(task.tree, [tuple(r) for r in task.rows])],
+        name=task.name,
+    )
+    failures = []
+    fingerprints = {}
+    for label, jobs in (("serial", 1), ("jobs=2", 2)):
+        start = time.perf_counter()
+        result = Synthesizer(DEFAULT_CONFIG, jobs=jobs).synthesize(synthesis_task)
+        seconds = time.perf_counter() - start
+        fingerprints[label] = _fingerprint(result)
+        print(
+            f"  {TAIL_GATE_TASK} [{label}]: {seconds:.2f}s, solved={result.success}, "
+            f"fingerprint {fingerprints[label][:16]}…"
+        )
+        if seconds > TAIL_GATE_BUDGET_SECONDS:
+            failures.append(
+                f"{label} run took {seconds:.2f}s "
+                f"(budget {TAIL_GATE_BUDGET_SECONDS:.0f}s)"
+            )
+        if fingerprints[label] != TAIL_GATE_FINGERPRINT:
+            failures.append(
+                f"{label} fingerprint {fingerprints[label]} != committed "
+                f"{TAIL_GATE_FINGERPRINT}"
+            )
+    if fingerprints["serial"] != fingerprints["jobs=2"]:
+        failures.append("serial and parallel programs differ")
+    if failures:
+        for failure in failures:
+            print(f"TAIL GATE FAIL: {failure}")
+        return 1
+    print(
+        f"tail gate ok: both runs within {TAIL_GATE_BUDGET_SECONDS:.0f}s, "
+        "program matches the committed fingerprint"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        metavar="GLOB",
+        help="run only tasks whose name matches this glob (e.g. 'xml_sensors_5c*'); "
+        "filtered runs print their records instead of rewriting BENCH_TABLE1.json",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="candidate-level synthesis parallelism per task (0 = CPU count, "
+        "default 1 = serial); programs are identical regardless",
+    )
+    parser.add_argument(
+        "--seed-budget",
+        type=float,
+        default=2.0,
+        help="run the seed engine only on tasks whose vectorized time is at "
+        "most this many seconds (skips are reported; default 2.0)",
+    )
+    parser.add_argument(
+        "--output",
+        default=TABLE1_RECORD_PATH,
+        help="where to write the JSON record (default: BENCH_TABLE1.json)",
+    )
+    parser.add_argument(
+        "--tail-gate",
+        action="store_true",
+        help="CI guard: synthesize the pinned 5-column tail task serially and "
+        f"with jobs=2, each within {TAIL_GATE_BUDGET_SECONDS:.0f}s and matching "
+        "the committed program fingerprint",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (got {args.jobs})")
+    if args.tail_gate:
+        return tail_gate()
+    return run_suite(args.seed_budget, only=args.only, jobs=args.jobs, output=args.output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -343,7 +343,11 @@ class MigrationEngine:
     :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=0`` uses the CPU
     count).  Key-rule learning runs in the parent afterwards — it aligns
     example rows against the parent's tree — and the learned programs are
-    identical to a serial run.
+    identical to a serial run.  When only one table needs synthesis, the
+    worker budget is spent *inside* the synthesizer instead: its candidate
+    table extractors are evaluated in parallel (see
+    :class:`~repro.synthesis.synthesizer.Synthesizer`), again with
+    byte-identical results.
 
     ``context`` optionally seeds the engine's synthesizer with a shared (or
     rehydrated) :class:`~repro.synthesis.context.SynthesisContext`; worker
@@ -428,6 +432,19 @@ class MigrationEngine:
         if not tables:
             return {}
         workers = jobs if jobs else os.cpu_count() or 1
+        if len(tables) == 1 and self.config.vectorized:
+            # A table-level pool is useless for a single table; fan out over
+            # its candidate table extractors instead.  The candidate stage is
+            # deterministic, so the program is identical to a serial run.
+            synthesizer = Synthesizer(
+                self.config, context=self.synthesizer.context, jobs=workers
+            )
+            table_schema = tables[0]
+            return {
+                table_schema.name: synthesizer.synthesize(
+                    _table_synthesis_task(spec, table_schema)
+                )
+            }
         workers = min(workers, len(tables)) or 1
         payloads = [
             (table_schema.name, _table_data_rows(spec, table_schema))

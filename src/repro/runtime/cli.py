@@ -272,17 +272,41 @@ def _acquire_plan(args, spec: Spec, *, allow_learn: bool) -> Tuple[MigrationPlan
     if args.incremental or spec.get("incremental"):
         return _learn_incrementally(args, spec, migration_spec, jobs, cache_dir)
     if args.no_cache:
-        plan = MigrationPlan.learn(migration_spec, jobs=jobs)
+        plan = _learn_plan(args, migration_spec, jobs)
         plan.source_format = spec.format
         return plan, "synthesized (cache disabled)"
     cache = PlanCache(cache_dir)
     cached = cache.load(migration_spec)
     if cached is not None:
         return cached, f"cache hit ({cache.path_for(cached.metadata.get('spec_fingerprint', '?'))})"
-    plan = MigrationPlan.learn(migration_spec, jobs=jobs)
+    plan = _learn_plan(args, migration_spec, jobs)
     plan.source_format = spec.format
     path = cache.store(migration_spec, plan)
     return plan, f"synthesized and cached ({path})"
+
+
+def _learn_plan(args, migration_spec, jobs: int) -> MigrationPlan:
+    """Synthesize a fresh plan; ``--verbose`` prints per-table diagnostics.
+
+    The diagnostics come from :class:`~repro.synthesis.synthesizer.SynthesisStats`
+    — universe size per candidate ψ, per-phase wall-clock (universe /
+    bitmatrix / cover) and candidate-cache hit rates — and are printed before
+    the plan summary so slow tables are attributable to a phase.
+    """
+    if not getattr(args, "verbose", False):
+        return MigrationPlan.learn(migration_spec, jobs=jobs)
+    from ..migration.engine import MigrationEngine
+
+    engine = MigrationEngine(jobs=jobs)
+    programs, _ = engine.learn(migration_spec)
+    for name in sorted(programs):
+        stats = programs[name].synthesis.stats
+        if stats is None:
+            continue
+        print(f"synthesis diagnostics for {name}:")
+        for line in stats.describe().splitlines():
+            print(f"  {line}")
+    return MigrationPlan.from_programs(migration_spec.schema, programs)
 
 
 def _learn_incrementally(
@@ -899,6 +923,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(learn)
     learn.add_argument("--plan-out", help="write the learned plan to this file")
+    learn.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-table synthesis diagnostics: universe size per "
+        "candidate, phase timings and candidate-cache hit rates",
+    )
     learn.set_defaults(handler=_cmd_learn)
 
     run = subparsers.add_parser("run", help="execute an existing plan (no synthesis)")

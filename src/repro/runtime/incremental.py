@@ -63,6 +63,10 @@ class IncrementalReport:
     tables_reused: List[str] = field(default_factory=list)
     tables_keys_reused: List[str] = field(default_factory=list)
     learn_seconds: float = 0.0
+    cache_counters: Dict[str, int] = field(default_factory=dict)
+    """Candidate-level cache hit/miss counters accumulated over the learn
+    (universe/χi/bitmatrix — see
+    :attr:`~repro.synthesis.context.SynthesisContext.COUNTERS`)."""
 
     @property
     def cold(self) -> bool:
@@ -96,10 +100,25 @@ class IncrementalReport:
         )
         if self.tables_synthesized:
             lines.append(f"  synthesized: {', '.join(self.tables_synthesized)}")
+        counters = {**_EMPTY_COUNTERS, **self.cache_counters}
+        if any(counters.values()):
+            lines.append(
+                "  candidate caches: universe {universe_hits}h/{universe_misses}m, "
+                "χi {chi_hits}h/{chi_misses}m, "
+                "bitmatrix {mask_hits}h/{mask_misses}m".format(**counters)
+            )
         return "\n".join(lines)
 
 
 _EMPTY_STATS = {"trees": 0, "column_results": 0, "chi": 0, "universes": 0}
+_EMPTY_COUNTERS = {
+    "universe_hits": 0,
+    "universe_misses": 0,
+    "chi_hits": 0,
+    "chi_misses": 0,
+    "mask_hits": 0,
+    "mask_misses": 0,
+}
 
 
 def learn_incremental(
@@ -145,6 +164,7 @@ def learn_incremental(
     start = time.perf_counter()
     programs, _ = engine.learn(spec, reuse=reuse, reuse_keys=reuse_keys)
     report.learn_seconds = time.perf_counter() - start
+    report.cache_counters = dict(engine.synthesizer.context.counters)
     report.tables_reused = sorted(reuse)
     report.tables_keys_reused = sorted(reuse_keys)
     report.tables_synthesized = sorted(set(programs) - set(reuse))

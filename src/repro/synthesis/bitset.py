@@ -86,3 +86,34 @@ def full_mask(width: int) -> int:
 def mask_to_bools(mask: int, width: int) -> List[bool]:
     """Unpack the low ``width`` bits into a list of booleans."""
     return [bool((mask >> index) & 1) for index in range(width)]
+
+
+def compose_mask(uids, uid_masks) -> int:
+    """Recompose a predicate's tuple mask from its satisfying node uids.
+
+    ``uid_masks`` maps a column's node uids to tuple bitmasks (the
+    :class:`~repro.synthesis.predicate_matrix.TupleSpace` tables); the
+    predicate holds on exactly the tuples whose column entry is one of
+    ``uids``.  Separating the *decision* (which nodes satisfy the predicate —
+    cacheable across candidate table extractors) from the *expansion* (which
+    tuple positions those nodes occupy — specific to one tuple space) is what
+    lets a new candidate reuse every predicate evaluation whose column nodes
+    did not change.
+    """
+    mask = 0
+    for uid in uids:
+        mask |= uid_masks[uid]
+    return mask
+
+
+def compose_pair_mask(pairs, left_masks, right_masks) -> int:
+    """Recompose a two-column predicate's tuple mask from satisfying uid pairs.
+
+    A tuple satisfies the predicate iff its (left column, right column) node
+    pair is one of ``pairs``; the tuple positions holding that pair are the
+    intersection of the two per-column bitmasks.
+    """
+    mask = 0
+    for left, right in pairs:
+        mask |= left_masks[left] & right_masks[right]
+    return mask

@@ -61,7 +61,8 @@ class SynthesisConfig:
 
     # --- solvers -------------------------------------------------------------
     cover_strategy: str = "auto"
-    """Minimum-cover strategy: 'auto', 'ilp', 'branch_and_bound' or 'greedy'."""
+    """Minimum-cover strategy: 'auto', 'ilp', 'branch_and_bound', 'greedy' or
+    'legacy' (the pre-PR-8 auto dispatch that hands large instances to HiGHS)."""
 
     exact_cover_limit: int = 26
     """Use exact branch-and-bound only when at most this many candidate predicates
@@ -80,6 +81,14 @@ class SynthesisConfig:
     bitmatrices, shared caches).  ``False`` runs the seed algorithms —
     eager per-example DFAs and tuple-by-tuple predicate evaluation — which
     the equivalence tests and benchmarks compare against."""
+
+    candidate_caching: bool = True
+    """Reuse predicate universes, χi sets and per-predicate satisfying-node
+    sets across candidate table extractors (keyed by column *node-list
+    signatures*, so syntactically different extractors that land on the same
+    nodes share everything).  ``False`` forces the cold path — every candidate
+    rebuilds from scratch — which the parity tests compare against: caching
+    must never change a learned program, only how fast it is learned."""
 
 
     # ------------------------------------------------------------- presets

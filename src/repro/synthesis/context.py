@@ -15,7 +15,15 @@ learner would otherwise recompute per column / per candidate table extractor:
   tables of one migration share many columns (keys, names, positions), so a
   repeated column is learned once;
 * valid node-extractor sets (χi) and whole predicate universes keyed by the
-  candidate columns.
+  candidate columns' **node-list signatures** (the per-example uid tuples the
+  extractor lands on) — syntactically different extractors that extract the
+  same nodes share the same χi and universe, which is what makes predicate
+  learning incremental across the candidate ψ of one table;
+* per-predicate satisfying-node sets keyed by ``(predicate parts, column
+  signature)`` — when consecutive candidates differ in one column, only the
+  predicates touching that column are re-evaluated; the rest recompose their
+  tuple bitmasks from the cached node sets
+  (:func:`~repro.synthesis.bitset.compose_mask`).
 
 Caches key trees by ``id``; the context keeps a strong reference to every
 tree it has seen so ids cannot be recycled.  A context must not be shared
@@ -119,6 +127,16 @@ class _TreeFacts:
 class SynthesisContext:
     """Cross-column, cross-table caches for one synthesis configuration."""
 
+    #: Cache hit/miss counter names, all reported by :meth:`stats`.
+    COUNTERS = (
+        "universe_hits",
+        "universe_misses",
+        "chi_hits",
+        "chi_misses",
+        "mask_hits",
+        "mask_misses",
+    )
+
     def __init__(self) -> None:
         self._facts: Dict[int, _TreeFacts] = {}
         self._config_token: Optional[tuple] = None
@@ -127,6 +145,9 @@ class SynthesisContext:
         self.column_data: Dict[Tuple[int, ColumnExtractor], frozenset] = {}
         self.chi: Dict[tuple, List[NodeExtractor]] = {}
         self.universes: Dict[tuple, List[Predicate]] = {}
+        self.column_sigs: Dict[tuple, tuple] = {}
+        self.predicate_sat: Dict[tuple, tuple] = {}
+        self.counters: Dict[str, int] = {name: 0 for name in self.COUNTERS}
 
     # ----------------------------------------------------------- bookkeeping
     def bind_config(self, config) -> None:
@@ -150,13 +171,20 @@ class SynthesisContext:
         return [facts.tree for facts in self._facts.values()]
 
     def stats(self) -> Dict[str, int]:
-        """Cache sizes, reported by the CLI's incremental cache-hit summary."""
-        return {
+        """Cache sizes and hit/miss counters, reported by the CLI summaries."""
+        sizes = {
             "trees": len(self._facts),
             "column_results": len(self.column_results),
             "chi": len(self.chi),
             "universes": len(self.universes),
+            "predicate_sat": len(self.predicate_sat),
         }
+        sizes.update(self.counters)
+        return sizes
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump a cache hit/miss counter (see :attr:`COUNTERS`)."""
+        self.counters[name] = self.counters.get(name, 0) + delta
 
     def facts(self, tree: HDT) -> _TreeFacts:
         facts = self._facts.get(id(tree))
@@ -197,3 +225,25 @@ class SynthesisContext:
         if key not in cache:
             cache[key] = eval_node_extractor(extractor, node)
         return cache[key]
+
+    def column_signature(self, extractor: ColumnExtractor, trees) -> tuple:
+        """The per-example node-list signature of a column extractor.
+
+        One uid tuple per tree, in evaluation order.  Two column extractors
+        with equal signatures extract the same nodes from every example, so
+        every candidate-level artifact — χi sets, predicate universes,
+        per-predicate satisfying-node sets — is interchangeable between them;
+        the candidate-level caches key by signature for exactly that reason.
+        Node uids are process-wide unique, so signatures never collide across
+        trees.
+        """
+        trees = list(trees)
+        key = (self.trees_key(trees), extractor)
+        hit = self.column_sigs.get(key)
+        if hit is None:
+            hit = tuple(
+                tuple(node.uid for node in self.eval_column(extractor, tree))
+                for tree in trees
+            )
+            self.column_sigs[key] = hit
+        return hit

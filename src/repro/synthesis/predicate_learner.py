@@ -60,6 +60,12 @@ class PredicateLearningStats:
     negative_examples: int = 0
     selected_predicates: int = 0
     dnf_terms: int = 0
+    universe_seconds: float = 0.0
+    """Wall-clock spent constructing (or fetching) the predicate universe."""
+    bitmatrix_seconds: float = 0.0
+    """Wall-clock spent building predicate truth masks and the pair instance."""
+    cover_seconds: float = 0.0
+    """Wall-clock spent in the minimum-cover solver and QM minimization."""
 
 
 def rows_equal(a: Row, b: Row) -> bool:
@@ -274,12 +280,19 @@ def _learn_predicate_seed(
         cover_sets.append(distinguished)
     universe_pairs = set(range(len(pos_rows) * num_neg))
 
+    # Among equally-minimal covers, prefer predicates that hold on the
+    # positive tuples (false-on-positive counts as the per-set cost): they
+    # render as positive literals in the final DNF instead of negated ones.
+    polarity_costs = [
+        sum(1 for pos_row in pos_rows if not pos_row[idx]) for idx in kept_indices
+    ]
     try:
         chosen_positions = minimum_cover(
             cover_sets,
             universe_pairs,
             strategy=config.cover_strategy,
             exact_limit=config.exact_cover_limit,
+            costs=polarity_costs,
         )
     except CoverError:
         return None
@@ -402,7 +415,7 @@ def _learn_predicate_vectorized(
     solvers make the same tie-break choices as their list-based counterparts,
     so the returned predicate is byte-identical to the seed learner's.
     """
-    from .bitset import full_mask
+    from .bitset import full_mask, popcount
     from .context import SynthesisContext
     from .predicate_matrix import (
         build_predicate_masks,
@@ -433,11 +446,15 @@ def _learn_predicate_vectorized(
     if not negatives:
         return True_()
 
+    import time as _time
+
+    phase_start = _time.perf_counter()
     universe = construct_predicate_universe(
         trees, table_extractor.columns, config, context=context
     )
     if stats is not None:
         stats.universe_size = len(universe)
+        stats.universe_seconds = _time.perf_counter() - phase_start
     if not universe:
         return None
 
@@ -447,7 +464,10 @@ def _learn_predicate_vectorized(
     num_tuples = num_pos + num_neg
     tuples_full = full_mask(num_tuples)
 
-    masks = build_predicate_masks(universe, tuples, arity, context)
+    phase_start = _time.perf_counter()
+    masks = build_predicate_masks(
+        universe, tuples, arity, context, cache=config.candidate_caching
+    )
 
     # Feature deduplication: constant masks can never split a (positive,
     # negative) pair; equal masks keep only the simplest predicate.
@@ -475,14 +495,27 @@ def _learn_predicate_vectorized(
         distinguishing_pairs_mask(masks[idx], num_pos, num_neg) for idx in kept_indices
     ]
     pair_universe = full_mask(num_pos * num_neg)
+    if stats is not None:
+        stats.bitmatrix_seconds = _time.perf_counter() - phase_start
+    phase_start = _time.perf_counter()
+    # Same polarity preference as the seed path: positives occupy the low
+    # ``num_pos`` bits of every truth mask, so the false-on-positive count is
+    # one popcount per kept predicate.
+    pos_mask = full_mask(num_pos)
+    polarity_costs = [
+        num_pos - popcount(masks[idx] & pos_mask) for idx in kept_indices
+    ]
     try:
         chosen_positions = minimum_cover_bits(
             pair_masks,
             pair_universe,
             strategy=config.cover_strategy,
             exact_limit=config.exact_cover_limit,
+            costs=polarity_costs,
         )
     except CoverError:
+        if stats is not None:
+            stats.cover_seconds = _time.perf_counter() - phase_start
         return None
 
     selected_indices = [kept_indices[i] for i in sorted(set(chosen_positions))]
@@ -520,6 +553,7 @@ def _learn_predicate_vectorized(
     )
     if stats is not None:
         stats.dnf_terms = len(implicants)
+        stats.cover_seconds = _time.perf_counter() - phase_start
 
     clauses = [implicant_to_clause(implicant) for implicant in implicants]
     terms: List[Predicate] = []

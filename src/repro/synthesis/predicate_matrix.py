@@ -16,6 +16,16 @@ Node-extractor targets are memoized in the shared
 :class:`~repro.synthesis.context.SynthesisContext`, so the walks are also
 shared across predicates, across candidate table extractors and across the
 tables of a multi-table task.
+
+On top of the target memo sits a second, candidate-level cache: a predicate's
+*satisfying node set* — which of a column's distinct nodes (or node pairs)
+make it true — depends only on the predicate's extractors/operator/constant
+and on the column's node set, not on the tuple space.  Consecutive candidate
+table extractors ψₙ, ψₙ₊₁ typically differ in a single column, so every
+predicate not touching that column finds its satisfying set in the cache and
+only *recomposes* its tuple bitmask through the new ``node → tuple-bitmask``
+tables (:func:`~repro.synthesis.bitset.compose_mask`); evaluation work is
+spent on the predicates whose column actually changed.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..dsl.ast import CompareConst, CompareNodes, Op, Predicate
 from ..dsl.semantics import NodeTuple, compare_values, eval_predicate
 from ..hdt.node import Node
+from .bitset import compose_mask, compose_pair_mask
 from .context import SynthesisContext
 
 
@@ -61,67 +72,166 @@ def _compare_nodes(left: Optional[Node], op: Op, right: Optional[Node]) -> bool:
     return False
 
 
+def _const_satisfying_uids(
+    space: TupleSpace, column: int, predicate: CompareConst, target_of
+) -> Tuple[int, ...]:
+    """Uids of the column's nodes on which a constant comparison holds."""
+    satisfied = []
+    nodes = space.nodes[column]
+    extractor, op, constant = predicate.extractor, predicate.op, predicate.constant
+    for uid in space.masks[column]:
+        target = target_of(extractor, nodes[uid])
+        if target is not None and compare_values(target.data, op, constant):
+            satisfied.append(uid)
+    return tuple(satisfied)
+
+
+def _same_column_satisfying_uids(
+    space: TupleSpace, column: int, predicate: CompareNodes, target_of
+) -> Tuple[int, ...]:
+    """Uids on which a same-column node comparison holds."""
+    satisfied = []
+    nodes = space.nodes[column]
+    left_extractor, op, right_extractor = (
+        predicate.left_extractor,
+        predicate.op,
+        predicate.right_extractor,
+    )
+    for uid in space.masks[column]:
+        node = nodes[uid]
+        if _compare_nodes(
+            target_of(left_extractor, node), op, target_of(right_extractor, node)
+        ):
+            satisfied.append(uid)
+    return tuple(satisfied)
+
+
+def _pair_satisfying_uids(
+    space: TupleSpace, i: int, j: int, predicate: CompareNodes, target_of
+) -> Tuple[Tuple[int, int], ...]:
+    """(left uid, right uid) pairs on which a cross-column comparison holds."""
+    satisfied = []
+    left_extractor, op, right_extractor = (
+        predicate.left_extractor,
+        predicate.op,
+        predicate.right_extractor,
+    )
+    right_targets = [
+        (uid, target_of(right_extractor, space.nodes[j][uid]))
+        for uid in space.masks[j]
+    ]
+    for left_uid in space.masks[i]:
+        left = target_of(left_extractor, space.nodes[i][left_uid])
+        if left is None:
+            continue
+        for right_uid, right in right_targets:
+            if _compare_nodes(left, op, right):
+                satisfied.append((left_uid, right_uid))
+    return tuple(satisfied)
+
+
 def build_predicate_masks(
     universe: Sequence[Predicate],
     tuples: Sequence[NodeTuple],
     arity: int,
     context: SynthesisContext,
+    *,
+    cache: bool = True,
 ) -> List[int]:
     """Evaluate the whole universe over the tuple space, one bitmask per predicate.
 
     The bit order matches the tuple order (bit *i* ↔ ``tuples[i]``), so a mask
     equals the seed's per-tuple truth vector packed LSB-first.
+
+    With ``cache`` on, each predicate's satisfying node set is looked up in
+    the context's candidate-level cache, keyed by the predicate's behavioural
+    parts plus the *sorted uid signature* of the column(s) it reads — the
+    satisfying set depends on which nodes a column holds, never on their
+    order or on the other columns.  Hits skip evaluation entirely and only
+    recompose the tuple bitmask; misses evaluate and populate the cache.
+    The produced masks are identical either way (the cache stores exact
+    node-level decisions, not approximations).
     """
     space = TupleSpace(tuples, arity)
     target_of = context.target_of
+    sat_cache = context.predicate_sat if cache else None
+    if sat_cache is not None:
+        column_sigs = [tuple(sorted(space.masks[c])) for c in range(arity)]
     masks: List[int] = []
     for predicate in universe:
         if isinstance(predicate, CompareConst):
-            if predicate.column >= arity:
+            column = predicate.column
+            if column >= arity:
                 masks.append(0)
                 continue
-            mask = 0
-            extractor = predicate.extractor
-            op, constant = predicate.op, predicate.constant
-            nodes = space.nodes[predicate.column]
-            for uid, tuple_mask in space.masks[predicate.column].items():
-                target = target_of(extractor, nodes[uid])
-                if target is not None and compare_values(target.data, op, constant):
-                    mask |= tuple_mask
-            masks.append(mask)
+            if sat_cache is not None:
+                key = (
+                    "const",
+                    predicate.extractor,
+                    predicate.op,
+                    predicate.constant,
+                    column_sigs[column],
+                )
+                satisfied = sat_cache.get(key)
+                if satisfied is None:
+                    context.count("mask_misses")
+                    satisfied = _const_satisfying_uids(
+                        space, column, predicate, target_of
+                    )
+                    sat_cache[key] = satisfied
+                else:
+                    context.count("mask_hits")
+            else:
+                satisfied = _const_satisfying_uids(space, column, predicate, target_of)
+            masks.append(compose_mask(satisfied, space.masks[column]))
         elif isinstance(predicate, CompareNodes):
             i, j = predicate.left_column, predicate.right_column
             if i >= arity or j >= arity:
                 masks.append(0)
                 continue
-            mask = 0
-            left_extractor, right_extractor = (
-                predicate.left_extractor,
-                predicate.right_extractor,
-            )
-            op = predicate.op
-            left_nodes = space.nodes[i]
             if i == j:
-                for uid, tuple_mask in space.masks[i].items():
-                    node = left_nodes[uid]
-                    if _compare_nodes(
-                        target_of(left_extractor, node), op, target_of(right_extractor, node)
-                    ):
-                        mask |= tuple_mask
+                if sat_cache is not None:
+                    key = (
+                        "same",
+                        predicate.left_extractor,
+                        predicate.op,
+                        predicate.right_extractor,
+                        column_sigs[i],
+                    )
+                    satisfied = sat_cache.get(key)
+                    if satisfied is None:
+                        context.count("mask_misses")
+                        satisfied = _same_column_satisfying_uids(
+                            space, i, predicate, target_of
+                        )
+                        sat_cache[key] = satisfied
+                    else:
+                        context.count("mask_hits")
+                else:
+                    satisfied = _same_column_satisfying_uids(
+                        space, i, predicate, target_of
+                    )
+                masks.append(compose_mask(satisfied, space.masks[i]))
             else:
-                right_items = [
-                    (target_of(right_extractor, node), tuple_mask)
-                    for uid, tuple_mask in space.masks[j].items()
-                    for node in (space.nodes[j][uid],)
-                ]
-                for uid, left_mask in space.masks[i].items():
-                    left = target_of(left_extractor, left_nodes[uid])
-                    if left is None:
-                        continue
-                    for right, right_mask in right_items:
-                        if _compare_nodes(left, op, right):
-                            mask |= left_mask & right_mask
-            masks.append(mask)
+                if sat_cache is not None:
+                    key = (
+                        "pair",
+                        predicate.left_extractor,
+                        predicate.op,
+                        predicate.right_extractor,
+                        column_sigs[i],
+                        column_sigs[j],
+                    )
+                    pairs = sat_cache.get(key)
+                    if pairs is None:
+                        context.count("mask_misses")
+                        pairs = _pair_satisfying_uids(space, i, j, predicate, target_of)
+                        sat_cache[key] = pairs
+                    else:
+                        context.count("mask_hits")
+                else:
+                    pairs = _pair_satisfying_uids(space, i, j, predicate, target_of)
+                masks.append(compose_pair_mask(pairs, space.masks[i], space.masks[j]))
         else:  # pragma: no cover - Φ only contains atomic comparisons
             mask = 0
             for position, node_tuple in enumerate(tuples):

@@ -173,12 +173,16 @@ def construct_predicate_universe(
         The column extractors π1..πk of the candidate table extractor ψ.
     context:
         Optional :class:`~repro.synthesis.context.SynthesisContext`.  When
-        provided, the per-column valid-extractor sets χi, whole universes and
-        every node-extractor application are cached and shared across the
-        candidate table extractors of a column, across output columns and
-        across the tables of a multi-table task (the χi of a column extractor
-        depend only on the extractor and the example trees, not on which
-        candidate ψ it currently appears in).
+        provided (and ``config.candidate_caching`` is on), the per-column
+        valid-extractor sets χi and whole universes are cached by the
+        columns' *node-list signatures* and shared across the candidate table
+        extractors of a column, across output columns and across the tables
+        of a multi-table task: the universe is a pure function of which nodes
+        each column extracts (predicates embed node extractors and column
+        indices, never the column extractors themselves), so syntactically
+        different candidates that land on the same nodes reuse it outright.
+        Node-extractor applications go through the context's shared memo
+        regardless of the caching flag.
 
     Returns
     -------
@@ -186,13 +190,20 @@ def construct_predicate_universe(
     ``config.max_predicate_universe``.
     """
     arity = len(column_extractors)
+    caching = context is not None and config.candidate_caching
     columns_key = None
-    if context is not None:
+    if caching:
         trees_key = context.trees_key(trees)
-        columns_key = (trees_key, tuple(column_extractors))
+        sigs = tuple(
+            context.column_signature(extractor, trees)
+            for extractor in column_extractors
+        )
+        columns_key = (trees_key, sigs)
         cached = context.universes.get(columns_key)
         if cached is not None:
+            context.count("universe_hits")
             return cached
+        context.count("universe_misses")
 
     # Nodes extracted per column per example (used for validity checks).
     per_column_nodes: List[List[Node]] = []
@@ -207,18 +218,20 @@ def construct_predicate_universe(
 
     chi: List[List[NodeExtractor]] = []
     for i in range(arity):
-        if context is not None:
-            chi_key = (trees_key, column_extractors[i])
+        if caching:
+            chi_key = (trees_key, sigs[i])
             hit = context.chi.get(chi_key)
             if hit is not None:
+                context.count("chi_hits")
                 chi.append(hit)
                 continue
+            context.count("chi_misses")
         computed = _dedupe_by_signature(
             valid_node_extractors(per_column_nodes_by_example[i], config, context),
             per_column_nodes[i],
             context,
         )
-        if context is not None:
+        if caching:
             context.chi[chi_key] = computed
         chi.append(computed)
 
@@ -267,6 +280,6 @@ def construct_predicate_universe(
                                 return
 
     build()
-    if context is not None:
+    if caching:
         context.universes[columns_key] = universe
     return universe

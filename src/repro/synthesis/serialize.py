@@ -11,8 +11,10 @@ process — can be seeded with the caches instead of recomputing them:
   constants, and the ``value → node`` equality classes used for DFA
   acceptance;
 * learned column-extractor lists keyed by ``(trees, column values)``;
-* valid node-extractor sets χi keyed by ``(trees, column extractor)``;
-* whole predicate universes keyed by ``(trees, candidate columns)``.
+* valid node-extractor sets χi keyed by ``(trees, column node-list
+  signature)``;
+* whole predicate universes keyed by ``(trees, per-column node-list
+  signatures)``.
 
 Node uids are process-local counters, so they never appear on the wire:
 nodes are addressed by their **preorder position**, and trees by their
@@ -24,9 +26,11 @@ store entries.
 
 What is deliberately *not* serialized: the :class:`TreeAutomaton` (its
 interned states fill in demand order, so persisting them could change how the
-``max_dfa_states`` budget binds), the ``(ϕ, node) → target`` memo (keyed by
-raw uids and cheap to rebuild for the tables actually re-synthesized), and
-the per-tree evaluation caches (derived data).  Because every serialized
+``max_dfa_states`` budget binds), the ``(ϕ, node) → target`` memo and the
+per-predicate satisfying-node-set cache (both keyed by raw uids and cheap to
+rebuild for the tables actually re-synthesized), the column-signature memo
+(one column evaluation per entry), and the per-tree evaluation caches
+(derived data).  Because every serialized
 cache is a deterministic function of its key, a rehydrated context produces
 **byte-identical programs** to a cold run — the property enforced by
 ``tests/test_incremental.py``.
@@ -62,8 +66,19 @@ from ..hdt.tree import HDT
 from .config import SynthesisConfig
 from .context import SynthesisContext, _is_nan
 
-CONTEXT_FORMAT_VERSION = 1
-"""Bumped whenever the context wire format changes incompatibly."""
+CONTEXT_FORMAT_VERSION = 2
+"""Bumped whenever the context wire format changes incompatibly.
+
+Version history:
+
+1. χi entries keyed by column-extractor AST, universe entries by candidate
+   column-AST tuples.
+2. Both are keyed by **node-list signatures** — per-tree preorder-position
+   lists naming the nodes a column extracts — matching the in-memory cache
+   keys of :class:`~repro.synthesis.context.SynthesisContext`.  Version-1
+   payloads still load: their column ASTs are evaluated against the matched
+   trees to reconstruct the signatures.
+"""
 
 _OP_FIELDS = {"constant_ops", "node_pair_ops"}
 
@@ -226,28 +241,36 @@ def serialize_context(context: SynthesisContext) -> Json:
             }
         )
 
+    def sig_to_json(refs: List[int], sig: Tuple[Tuple[int, ...], ...]) -> Json:
+        # One uid tuple per tree, aligned with ``refs``; uids become preorder
+        # positions so the signature survives process boundaries.
+        return [
+            [preorder[tree_pos][uid] for uid in uids]
+            for tree_pos, uids in zip(refs, sig)
+        ]
+
     chi: List[Json] = []
-    for (trees_key, column), extractors in context.chi.items():
+    for (trees_key, sig), extractors in context.chi.items():
         refs = trees_ref(trees_key)
         if refs is None:
             continue
         chi.append(
             {
                 "trees": refs,
-                "column": columns_pool.ref(column),
+                "signature": sig_to_json(refs, sig),
                 "extractors": [node_extractors_pool.ref(e) for e in extractors],
             }
         )
 
     universes: List[Json] = []
-    for (trees_key, columns), predicates in context.universes.items():
+    for (trees_key, sigs), predicates in context.universes.items():
         refs = trees_ref(trees_key)
         if refs is None:
             continue
         universes.append(
             {
                 "trees": refs,
-                "columns": [columns_pool.ref(c) for c in columns],
+                "signatures": [sig_to_json(refs, sig) for sig in sigs],
                 "predicates": [predicates_pool.ref(p) for p in predicates],
             }
         )
@@ -353,22 +376,45 @@ def deserialize_context(
             (key, values), [columns_pool[e] for e in entry["extractors"]]
         )
 
+    def sig_from_json(refs: List[int], payload_sig: Json) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(
+            tuple(nodes_of[ref][pos].uid for pos in positions)
+            for ref, positions in zip(refs, payload_sig)
+        )
+
+    def legacy_signature(column, refs: List[int]) -> Tuple[Tuple[int, ...], ...]:
+        # Version-1 entries carry the column AST; evaluating it against the
+        # matched trees reconstructs the node-list signature the in-memory
+        # caches key by today.
+        return context.column_signature(column, [matched[ref] for ref in refs])
+
     for entry in payload.get("chi", []):
         key = trees_key(entry["trees"])
         if key is None:
             continue
-        column = columns_pool[entry["column"]]
+        if "signature" in entry:
+            sig = sig_from_json(entry["trees"], entry["signature"])
+        else:
+            sig = legacy_signature(columns_pool[entry["column"]], entry["trees"])
         context.chi.setdefault(
-            (key, column), [node_extractors_pool[e] for e in entry["extractors"]]
+            (key, sig), [node_extractors_pool[e] for e in entry["extractors"]]
         )
 
     for entry in payload.get("universes", []):
         key = trees_key(entry["trees"])
         if key is None:
             continue
-        columns = tuple(columns_pool[c] for c in entry["columns"])
+        if "signatures" in entry:
+            sigs = tuple(
+                sig_from_json(entry["trees"], sig) for sig in entry["signatures"]
+            )
+        else:
+            sigs = tuple(
+                legacy_signature(columns_pool[c], entry["trees"])
+                for c in entry["columns"]
+            )
         context.universes.setdefault(
-            (key, columns), [predicates_pool[p] for p in entry["predicates"]]
+            (key, sigs), [predicates_pool[p] for p in entry["predicates"]]
         )
 
     return context

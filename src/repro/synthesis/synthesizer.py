@@ -81,6 +81,51 @@ class SynthesisTask:
 
 
 @dataclass
+class SynthesisStats:
+    """Aggregated per-task diagnostics across every candidate ψ tried.
+
+    ``universe_sizes`` has one entry per candidate (the ISSUE-8 fix: the
+    universe size used to be visible only for the winning candidate), the
+    ``*_seconds`` fields are the summed per-phase wall-clock of predicate
+    learning, and ``cache_counters`` holds the context cache hit/miss deltas
+    attributable to this task (universe/χi/bitmatrix, see
+    :attr:`~repro.synthesis.context.SynthesisContext.COUNTERS`).
+    """
+
+    universe_sizes: List[int] = field(default_factory=list)
+    universe_seconds: float = 0.0
+    bitmatrix_seconds: float = 0.0
+    cover_seconds: float = 0.0
+    cache_counters: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, stats: PredicateLearningStats) -> None:
+        self.universe_sizes.append(stats.universe_size)
+        self.universe_seconds += stats.universe_seconds
+        self.bitmatrix_seconds += stats.bitmatrix_seconds
+        self.cover_seconds += stats.cover_seconds
+
+    def describe(self) -> str:
+        """One line per concern, used by ``repro learn --verbose``."""
+        sizes = ", ".join(str(size) for size in self.universe_sizes) or "-"
+        lines = [
+            f"universe sizes per candidate: {sizes}",
+            "phase seconds: universe {:.3f}, bitmatrix {:.3f}, cover {:.3f}".format(
+                self.universe_seconds, self.bitmatrix_seconds, self.cover_seconds
+            ),
+        ]
+        counters = self.cache_counters
+        if any(counters.values()):
+            lines.append(
+                "caches: universe {universe_hits}h/{universe_misses}m, "
+                "chi {chi_hits}h/{chi_misses}m, "
+                "bitmatrix {mask_hits}h/{mask_misses}m".format(
+                    **{name: counters.get(name, 0) for name in SynthesisContext.COUNTERS}
+                )
+            )
+        return "\n".join(lines)
+
+
+@dataclass
 class SynthesisResult:
     """The outcome of a synthesis run, including diagnostics for the evaluation."""
 
@@ -90,6 +135,7 @@ class SynthesisResult:
     candidates_tried: int = 0
     column_candidates: List[int] = field(default_factory=list)
     predicate_stats: Optional[PredicateLearningStats] = None
+    stats: Optional[SynthesisStats] = None
     message: str = ""
 
     @property
@@ -102,6 +148,44 @@ class SynthesisResult:
         return pretty_program(self.program)
 
 
+#: Per-process state of the candidate-ψ pool: each worker holds its own
+#: unpickled trees, a synthesizer seeded from the parent's serialized context,
+#: and the rebuilt predicate examples.
+_CANDIDATE_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_candidate_worker(
+    trees_bytes: bytes, rows_list, config: SynthesisConfig, context_payload
+) -> None:
+    """Initialize one candidate-stage worker process.
+
+    The worker rehydrates the parent's context artifacts (χi sets, universes,
+    per-tree facts) against its own unpickled trees, so speculative candidates
+    start from the same caches the serial loop would have.
+    """
+    import pickle
+
+    trees = pickle.loads(trees_bytes)
+    context = SynthesisContext()
+    if context_payload is not None:
+        from .serialize import deserialize_context
+
+        context = deserialize_context(context_payload, trees)
+    synthesizer = Synthesizer(config, context=context)
+    examples = [
+        (tree, [tuple(row) for row in rows]) for tree, rows in zip(trees, rows_list)
+    ]
+    _CANDIDATE_WORKER_STATE["synthesizer"] = synthesizer
+    _CANDIDATE_WORKER_STATE["examples"] = examples
+
+
+def _evaluate_candidate_worker(columns):
+    """Pool entry point: evaluate one candidate ψ, return its verdict."""
+    synthesizer: Synthesizer = _CANDIDATE_WORKER_STATE["synthesizer"]  # type: ignore[assignment]
+    examples = _CANDIDATE_WORKER_STATE["examples"]
+    return synthesizer._evaluate_candidate(TableExtractor(tuple(columns)), examples)
+
+
 class Synthesizer:
     """Programming-by-example synthesizer for tree-to-table transformations.
 
@@ -111,14 +195,30 @@ class Synthesizer:
     column-extractor lists, χi sets, predicate universes and node-extractor
     target memos.  Pass an explicit ``context`` to share caches between
     synthesizers with the same configuration.
+
+    ``jobs`` parallelizes the candidate-ψ stage *within* one task (vectorized
+    engine only): candidate table extractors are shipped to a process pool in
+    enumeration order and evaluated speculatively, while the parent replays
+    the serial control flow — strict-improvement tracking, stop conditions,
+    θ-cost winner selection — over the results in submission order.  Because
+    predicate learning is deterministic per candidate and the replay makes
+    the same decisions on the same inputs, the learned program is
+    byte-identical to a serial run; parallelism only changes how fast the
+    answer arrives (plus up to one speculation window of wasted work after a
+    stop condition fires).  ``jobs=0`` uses the CPU count.
     """
 
     def __init__(
         self,
         config: SynthesisConfig = DEFAULT_CONFIG,
         context: Optional[SynthesisContext] = None,
+        *,
+        jobs: int = 1,
     ) -> None:
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (got {jobs})")
         self.config = config
+        self.jobs = jobs
         self.context = context if context is not None else SynthesisContext()
         self.context.bind_config(config)
 
@@ -156,57 +256,75 @@ class Synthesizer:
             )
 
         # Phase 2: enumerate table extractors by increasing total size, learn a
-        # predicate for each, and keep the θ-minimal program.
+        # predicate for each, and keep the θ-minimal program.  The enumeration
+        # (candidate stream), the per-candidate evaluation, and the control
+        # flow (replay loop) are separated so the serial and parallel paths
+        # share the decision logic verbatim — the parallel path merely
+        # evaluates candidates speculatively on a process pool and feeds the
+        # results to the identical replay in submission order.
         best_program: Optional[Program] = None
         best_cost = None
         best_stats: Optional[PredicateLearningStats] = None
         candidates_tried = 0
         since_improvement = 0
         message = "no candidate table extractor admits a filtering predicate"
+        aggregate = SynthesisStats()
+        counters_before = dict(self.context.counters) if config.vectorized else {}
 
         predicate_examples = [(ex.tree, ex.rows) for ex in task.examples]
+        stream_state = {"timed_out": False}
+        stream = self._candidate_stream(column_candidates, task, start, stream_state)
 
-        for combo in self._enumerate_combinations(column_candidates):
-            if time.perf_counter() - start > config.timeout_seconds:
-                message = "synthesis timed out"
-                break
-            if candidates_tried >= config.max_table_extractors:
-                break
-            if (
-                best_program is not None
-                and since_improvement >= config.max_candidates_without_improvement
-            ):
-                break
-            table_extractor = TableExtractor(tuple(combo))
-            if not self._overapproximates(table_extractor, task.examples):
-                continue
-            candidates_tried += 1
-            since_improvement += 1
-            stats = PredicateLearningStats()
-            try:
-                predicate = learn_predicate(
-                    predicate_examples,
-                    table_extractor,
-                    config,
-                    stats=stats,
-                    context=self.context if config.vectorized else None,
-                )
-            except MemoryError:
-                continue
-            if predicate is None:
-                continue
-            program = Program(table_extractor, predicate)
-            if not self._check_program(program, predicate_examples):
-                continue
-            cost = program_cost(program)
-            if best_cost is None or cost < best_cost:
-                best_program, best_cost, best_stats = program, cost, stats
-                since_improvement = 0
-            if config.stop_after_first_solution:
-                break
-            if best_program is not None and best_program.num_atomic_predicates() == 0:
-                # No program can beat a filter-free program under θ.
-                break
+        import os
+
+        workers = self.jobs if self.jobs else (os.cpu_count() or 1)
+        if config.vectorized and workers > 1:
+            results = self._parallel_results(stream, predicate_examples, workers)
+        else:
+            results = (
+                (te, self._evaluate_candidate(te, predicate_examples)) for te in stream
+            )
+        try:
+            while True:
+                if time.perf_counter() - start > config.timeout_seconds:
+                    message = "synthesis timed out"
+                    break
+                if (
+                    best_program is not None
+                    and since_improvement >= config.max_candidates_without_improvement
+                ):
+                    break
+                item = next(results, None)
+                if item is None:
+                    if stream_state["timed_out"]:
+                        message = "synthesis timed out"
+                    break
+                table_extractor, (status, predicate, stats) = item
+                candidates_tried += 1
+                since_improvement += 1
+                aggregate.add(stats)
+                if status != "ok":
+                    continue
+                program = Program(table_extractor, predicate)
+                cost = program_cost(program)
+                if best_cost is None or cost < best_cost:
+                    best_program, best_cost, best_stats = program, cost, stats
+                    since_improvement = 0
+                if config.stop_after_first_solution:
+                    break
+                if best_program is not None and best_program.num_atomic_predicates() == 0:
+                    # No program can beat a filter-free program under θ.
+                    break
+        finally:
+            results.close()
+            stream.close()
+
+        if config.vectorized:
+            counters_after = self.context.counters
+            aggregate.cache_counters = {
+                name: counters_after.get(name, 0) - counters_before.get(name, 0)
+                for name in counters_after
+            }
 
         elapsed = time.perf_counter() - start
         if best_program is None:
@@ -216,6 +334,7 @@ class Synthesizer:
                 synthesis_time=elapsed,
                 candidates_tried=candidates_tried,
                 column_candidates=[len(c) for c in column_candidates],
+                stats=aggregate,
                 message=message,
             )
         return SynthesisResult(
@@ -225,6 +344,7 @@ class Synthesizer:
             candidates_tried=candidates_tried,
             column_candidates=[len(c) for c in column_candidates],
             predicate_stats=best_stats,
+            stats=aggregate,
         )
 
     # ------------------------------------------------------------- internals
@@ -242,6 +362,116 @@ class Synthesizer:
             hit = learn_column_extractors(examples, config, context)
             context.column_results[key] = hit
         return hit
+
+    def _candidate_stream(
+        self, column_candidates, task: SynthesisTask, start: float, state: Dict
+    ):
+        """Yield candidate ψ passing the over-approximation check, in order.
+
+        Applies the enumeration-side bounds of the serial loop: stops at
+        ``max_table_extractors`` produced candidates and when the wall-clock
+        budget runs out while scanning (``state["timed_out"]`` reports which).
+        The cost-based stop conditions live in the replay loop, which pulls
+        from this stream lazily (serial) or speculatively (parallel).
+        """
+        config = self.config
+        produced = 0
+        for combo in self._enumerate_combinations(column_candidates):
+            if time.perf_counter() - start > config.timeout_seconds:
+                state["timed_out"] = True
+                return
+            if produced >= config.max_table_extractors:
+                return
+            table_extractor = TableExtractor(tuple(combo))
+            if not self._overapproximates(table_extractor, task.examples):
+                continue
+            produced += 1
+            yield table_extractor
+
+    def _evaluate_candidate(
+        self, table_extractor: TableExtractor, predicate_examples
+    ) -> Tuple[str, Optional[Predicate], PredicateLearningStats]:
+        """Learn and verify one candidate's predicate.
+
+        Returns ``(status, predicate, stats)`` with status ``"ok"`` (learned
+        and verified), ``"none"`` (no separating predicate), ``"reject"``
+        (verification failed) or ``"memory"`` (intermediate table too large)
+        — the exact set of outcomes the serial loop used to branch on inline.
+        Deterministic given (examples, candidate, config), which is what the
+        parallel stage's byte-identity argument rests on.
+        """
+        stats = PredicateLearningStats()
+        try:
+            predicate = learn_predicate(
+                predicate_examples,
+                table_extractor,
+                self.config,
+                stats=stats,
+                context=self.context if self.config.vectorized else None,
+            )
+        except MemoryError:
+            return ("memory", None, stats)
+        if predicate is None:
+            return ("none", None, stats)
+        program = Program(table_extractor, predicate)
+        if not self._check_program(program, predicate_examples):
+            return ("reject", None, stats)
+        return ("ok", predicate, stats)
+
+    def _parallel_results(self, stream, predicate_examples, workers: int):
+        """Evaluate streamed candidates speculatively on a process pool.
+
+        Futures are submitted in enumeration order and yielded in the same
+        order, keeping a window of ``2 × workers`` in flight; the replay loop
+        consuming this generator therefore sees exactly the sequence the
+        serial path would have produced.  Workers are seeded with the
+        parent's serialized context (PR 4's wire format), so χi sets and
+        universes learned before the fan-out are shared; work left in the
+        window when a stop condition fires is cancelled on close.
+        """
+        import pickle
+        from collections import deque
+        from concurrent.futures import ProcessPoolExecutor
+
+        from .serialize import serialize_context
+
+        trees = [tree for tree, _ in predicate_examples]
+        rows_list = [list(rows) for _, rows in predicate_examples]
+        context_payload = (
+            serialize_context(self.context) if self.context.trees() else None
+        )
+        trees_bytes = pickle.dumps(trees)
+        window = max(2 * workers, workers + 1)
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_candidate_worker,
+            initargs=(trees_bytes, rows_list, self.config, context_payload),
+        )
+        pending = deque()
+        try:
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    table_extractor = next(stream, None)
+                    if table_extractor is None:
+                        exhausted = True
+                        break
+                    pending.append(
+                        (
+                            table_extractor,
+                            pool.submit(
+                                _evaluate_candidate_worker, table_extractor.columns
+                            ),
+                        )
+                    )
+                if not pending:
+                    return
+                table_extractor, future = pending.popleft()
+                yield table_extractor, future.result()
+        finally:
+            for _, future in pending:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _enumerate_combinations(self, column_candidates: Sequence[Sequence]):
         """Lazily yield combinations of per-column extractors, cheapest first.

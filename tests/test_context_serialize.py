@@ -93,20 +93,35 @@ def _learned_context(tree, rows, config=SynthesisConfig.fast()):
 
 
 def _assert_contexts_equal(original, restored, old_tree, new_tree):
-    """Cache-by-cache equality, tolerating the tree-identity re-keying."""
+    """Cache-by-cache equality, tolerating the tree-identity re-keying.
+
+    χi and universe keys embed node-list signatures (uid tuples); a rebuilt
+    tree assigns fresh uids, so signatures are remapped by preorder position
+    — exactly what (de)serialization does on the wire.
+    """
     remap = {id(old_tree): id(new_tree)}
+    uid_map = {
+        old.uid: new.uid for old, new in zip(old_tree.nodes(), new_tree.nodes())
+    }
 
-    def rekey(key):
-        trees_key, rest = key
-        return (tuple(remap.get(t, t) for t in trees_key), rest)
+    def rekey_trees(trees_key):
+        return tuple(remap.get(t, t) for t in trees_key)
 
-    assert {rekey(k): v for k, v in original.column_results.items()} == dict(
-        restored.column_results
-    )
-    assert {rekey(k): v for k, v in original.chi.items()} == dict(restored.chi)
-    assert {rekey(k): v for k, v in original.universes.items()} == dict(
-        restored.universes
-    )
+    def remap_sig(sig):
+        return tuple(tuple(uid_map.get(uid, uid) for uid in uids) for uids in sig)
+
+    assert {
+        (rekey_trees(tk), rest): v
+        for (tk, rest), v in original.column_results.items()
+    } == dict(restored.column_results)
+    assert {
+        (rekey_trees(tk), remap_sig(sig)): v
+        for (tk, sig), v in original.chi.items()
+    } == dict(restored.chi)
+    assert {
+        (rekey_trees(tk), tuple(remap_sig(s) for s in sigs)): v
+        for (tk, sigs), v in original.universes.items()
+    } == dict(restored.universes)
 
 
 def test_round_trip_same_tree_is_exact():
