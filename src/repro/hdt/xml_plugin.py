@@ -20,12 +20,115 @@ given tag gets ``pos = i``.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Dict, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+from xml.parsers import expat
 
 from .node import Node, Scalar
 from .tree import HDT
 
 TEXT_TAG = "text"
+
+
+@dataclass(frozen=True)
+class XMLRecordIndex:
+    """A byte-offset index over a document's records (root's direct children).
+
+    Built in one expat pass (:func:`build_xml_record_index`) — the same
+    O(file) scan the sharded runtime's counting pass already pays — it lets
+    a shard **seek** straight to its record range instead of re-parsing the
+    whole document per shard: ``offsets[i]`` is the byte position of record
+    *i*'s opening ``<``, so the slice ``[offsets[start], offsets[stop])``
+    plus the document preamble and a synthesized root close tag is a valid
+    standalone document containing exactly records ``[start, stop)``
+    (docs/distributed.md#the-xml-byte-offset-record-index).
+
+    Offsets always land on the ASCII ``<`` byte, so a slice boundary can
+    never split a multi-byte UTF-8 sequence; comments, CDATA and whitespace
+    *between* records belong to the preceding slice and are ignored by the
+    record parser exactly as they are in a full parse.  ``tags`` (each
+    record's element tag, in document order) lets a mid-document slice seed
+    its per-tag position counters so record positions stay whole-document.
+
+    ``seekable`` is ``False`` for documents using XML namespaces: expat
+    reports raw ``prefix:tag`` names while the ElementTree parse the runtime
+    is canonical against expands them to ``{uri}tag``, so position counters
+    seeded from this index would disagree — such documents fall back to the
+    full-reparse path (identical output, just without the seek).
+    """
+
+    root_tag: str
+    offsets: Tuple[int, ...]
+    tags: Tuple[str, ...]
+    content_end: int
+    encoding: str = "utf-8"
+    seekable: bool = True
+
+    @property
+    def record_count(self) -> int:
+        return len(self.offsets)
+
+
+def build_xml_record_index(path: str) -> XMLRecordIndex:
+    """Index a document's record byte offsets in one streaming expat pass.
+
+    Raises :class:`xml.parsers.expat.ExpatError` on malformed XML — callers
+    that need ElementTree's error surface should fall back to the
+    non-indexed path on that.
+    """
+    parser = expat.ParserCreate()
+    state: Dict[str, object] = {
+        "depth": 0,
+        "root_tag": None,
+        "content_end": -1,
+        "encoding": None,
+        "namespaced": False,
+    }
+    offsets: List[int] = []
+    tags: List[str] = []
+
+    def xml_decl(version: str, encoding: Optional[str], standalone: int) -> None:
+        state["encoding"] = encoding
+
+    def start_element(name: str, attrs: Dict[str, str]) -> None:
+        depth = state["depth"]
+        if depth == 0:
+            state["root_tag"] = name
+        elif depth == 1:
+            offsets.append(parser.CurrentByteIndex)
+            tags.append(name)
+        if ":" in name or any(
+            key == "xmlns" or key.startswith("xmlns:") for key in attrs
+        ):
+            state["namespaced"] = True
+        state["depth"] = depth + 1
+
+    def end_element(name: str) -> None:
+        state["depth"] -= 1
+        if state["depth"] == 0:
+            state["content_end"] = parser.CurrentByteIndex
+
+    parser.XmlDeclHandler = xml_decl
+    parser.StartElementHandler = start_element
+    parser.EndElementHandler = end_element
+    with open(path, "rb") as handle:
+        parser.ParseFile(handle)
+    root_tag = state["root_tag"]
+    if root_tag is None:
+        raise expat.ExpatError("document has no root element")
+    content_end = int(state["content_end"])
+    if content_end < 0:
+        # A root written as <root/> closes in its start token; there are no
+        # records, so any end boundary before EOF works.  Use the root start.
+        content_end = offsets[0] if offsets else 0
+    return XMLRecordIndex(
+        root_tag=str(root_tag),
+        offsets=tuple(offsets),
+        tags=tuple(tags),
+        content_end=content_end,
+        encoding=str(state["encoding"] or "utf-8"),
+        seekable=not bool(state["namespaced"]),
+    )
 
 
 def xml_to_hdt(source: Union[str, ET.Element], *, coerce_numbers: bool = True) -> HDT:

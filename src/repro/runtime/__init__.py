@@ -33,6 +33,14 @@ ROADMAP's north star asks for:
 * :mod:`repro.runtime.faults` — deterministic fault injection
   (:class:`FaultPlan`, ``--inject-faults`` / ``REPRO_FAULTS``) exercising
   every retry/timeout/degradation path with real induced failures;
+* :mod:`repro.runtime.transport` — the :class:`ShardTransport` seam that
+  decides *where* map-stage shards run: :class:`LocalTransport` (the
+  in-process / subprocess pool) and :class:`SocketTransport` (length-prefixed
+  CRC-checked frames over TCP or Unix sockets to remote workers, see
+  ``docs/distributed.md``);
+* :mod:`repro.runtime.worker` — the ``repro worker`` process: a standalone
+  shard-map server that executes shards against its local copy of the
+  source and streams validated spill frames back;
 * :mod:`repro.runtime.verify` — post-run verification: row-count and
   PK/FK-integrity invariants re-derived against the produced target;
 * :mod:`repro.runtime.service` — the ``repro serve`` daemon: an HTTP/JSON
@@ -87,12 +95,27 @@ from .sharded import (
     ShardDegradedError,
     ShardError,
     ShardSpec,
+    auto_shard_count,
+    clear_source_caches,
     partition_records,
+    resolve_shard_count,
     shard_execute,
     shard_source,
     validate_spill,
 )
 from .supervisor import RetryPolicy, ShardFailure, ShardSupervisor
+from .transport import (
+    ConnectionLost,
+    FrameError,
+    HandshakeError,
+    LocalTransport,
+    ShardTransport,
+    SocketTransport,
+    TransportError,
+    WorkerUnavailable,
+    parse_address,
+)
+from .worker import ShardWorker, run_worker
 from .verify import (
     TableCheck,
     VerificationError,
@@ -132,10 +155,24 @@ __all__ = [
     "ShardDegradedError",
     "ShardError",
     "ShardSpec",
+    "auto_shard_count",
+    "clear_source_caches",
     "partition_records",
+    "resolve_shard_count",
     "shard_execute",
     "shard_source",
     "validate_spill",
+    "ShardTransport",
+    "LocalTransport",
+    "SocketTransport",
+    "TransportError",
+    "ConnectionLost",
+    "FrameError",
+    "HandshakeError",
+    "WorkerUnavailable",
+    "parse_address",
+    "ShardWorker",
+    "run_worker",
     "TableCheck",
     "VerificationError",
     "VerificationReport",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro`` / the ``repro-migrate`` script.
 
-Five subcommands cover the learn/run split that makes synthesized programs
+Six subcommands cover the learn/run split that makes synthesized programs
 durable artifacts, plus the operational surface around it:
 
 * ``learn``   — synthesize a :class:`MigrationPlan` from a spec (cached on
@@ -10,7 +10,10 @@ durable artifacts, plus the operational surface around it:
 * ``verify``  — re-check a finished target: row counts, primary-key and
   foreign-key integrity (``docs/service.md``);
 * ``serve``   — the migration service daemon: an HTTP/JSON job API with
-  resumable, dry-runnable, verifiable jobs (``docs/service.md``).
+  resumable, dry-runnable, verifiable jobs (``docs/service.md``);
+* ``worker``  — a remote shard executor: sharded runs fan out to worker
+  processes over TCP/Unix sockets with ``--remote-workers``
+  (``docs/distributed.md``).
 
 ``run`` and ``migrate`` also take ``--dry-run`` (count rows, write nothing),
 ``--report-json`` (machine-readable execution report), and — for sharded
@@ -82,6 +85,7 @@ from .service.checkpoint import ShardCheckpoint
 from .sharded import ShardDegradedError, ShardError, TreeSource, shard_execute
 from .sharded import shard_source as make_shard_source
 from .supervisor import RetryPolicy
+from .transport import SocketTransport, TransportError
 from .verify import VerificationError, read_target_rows, verify_rows
 from .streaming import (
     DEFAULT_CHUNK_SIZE,
@@ -341,18 +345,33 @@ def _learn_incrementally(
     return plan, f"{provenance}, store: {directory}"
 
 
-def _execution_mode(args, spec: Spec) -> Tuple[str, int]:
+def _shards_value(value: str):
+    """``--shards`` / spec ``"shards"``: a positive integer or ``"auto"``."""
+    text = str(value).strip()
+    if text.lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f'expected an integer or "auto" (got {value!r})'
+        ) from None
+
+
+def _execution_mode(args, spec: Spec) -> Tuple[str, Any]:
     """Resolve (and validate) the execution mode: how the document is walked.
 
-    Returns ``("whole-tree" | "streaming" | "sharded", shards)``.  The three
-    modes are mutually exclusive; conflicting flag combinations are usage
-    errors, never silently reinterpreted.  CLI flags override spec keys.
+    Returns ``("whole-tree" | "streaming" | "sharded", shards)`` where
+    ``shards`` is an integer or ``"auto"`` (sized from the record count,
+    core count and chunk size at execution time).  The three modes are
+    mutually exclusive; conflicting flag combinations are usage errors,
+    never silently reinterpreted.  CLI flags override spec keys.
     """
     if args.streaming and args.no_stream:
         raise CLIError("--streaming conflicts with --no-stream: pick one")
     if args.shards is not None:
-        if args.shards < 1:
-            raise CLIError(f"--shards must be >= 1 (got {args.shards})")
+        if args.shards != "auto" and args.shards < 1:
+            raise CLIError(f'--shards must be >= 1 or "auto" (got {args.shards})')
         if args.no_stream:
             raise CLIError(
                 "--shards executes the document in chunks by construction; "
@@ -362,20 +381,25 @@ def _execution_mode(args, spec: Spec) -> Tuple[str, int]:
             raise CLIError(
                 "--streaming and --shards are different execution modes: pick one"
             )
-        mode: Tuple[str, int] = ("sharded", args.shards)
+        mode: Tuple[str, Any] = ("sharded", args.shards)
     elif args.streaming:
         mode = ("streaming", 0)
     elif args.no_stream:
         mode = ("whole-tree", 0)
     else:
-        spec_shards = spec.get_int("shards", 0)
+        raw_spec_shards = spec.get("shards")
+        spec_shards = (
+            "auto"
+            if isinstance(raw_spec_shards, str) and raw_spec_shards.strip().lower() == "auto"
+            else spec.get_int("shards", 0)
+        )
         spec_streaming = bool(spec.get("streaming"))
         if spec_shards and spec_streaming:
             raise CLIError(
                 'spec keys "streaming" and "shards" conflict: keep one '
                 "(or override with --streaming / --shards / --no-stream)"
             )
-        if spec_shards < 0:
+        if spec_shards != "auto" and spec_shards < 0:
             raise CLIError(f'spec key "shards" must be >= 1 (got {spec_shards})')
         if spec_shards:
             mode = ("sharded", spec_shards)
@@ -390,9 +414,15 @@ def _execution_mode(args, spec: Spec) -> Tuple[str, int]:
             ("--shard-timeout", getattr(args, "shard_timeout", None)),
             ("--shard-retries", getattr(args, "shard_retries", None)),
             ("--inject-faults", getattr(args, "inject_faults", None)),
+            ("--remote-workers", getattr(args, "remote_workers", None)),
         ):
             if value is not None:
                 raise CLIError(f"{flag} only applies to sharded execution (add --shards N)")
+    if getattr(args, "remote_workers", None) is not None and args.workers is not None:
+        raise CLIError(
+            "--remote-workers replaces the local worker pool; "
+            "it conflicts with --workers"
+        )
     return mode
 
 
@@ -552,23 +582,44 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
                 fault_plan = resolve_plan(getattr(args, "inject_faults", None))
             except FaultError as error:
                 raise CLIError(f"--inject-faults: {error}")
-            report = shard_execute(
-                plan,
-                spec.sharded_source(),
-                backend,
-                shards=shards,
-                chunk_size=chunk_size,
-                workers=workers,
-                checkpoint=checkpoint,
-                resume=resume,
-                retry_policy=(
-                    RetryPolicy(max_attempts=shard_retries + 1)
-                    if shard_retries is not None
-                    else None
-                ),
-                shard_timeout=shard_timeout,
-                faults=fault_plan,
-            )
+            remote_workers = getattr(args, "remote_workers", None)
+            if remote_workers is None:
+                remote_workers = spec.get("remote_workers")
+            transport = None
+            if remote_workers:
+                if isinstance(remote_workers, str):
+                    addresses = [
+                        piece.strip()
+                        for piece in remote_workers.split(",")
+                        if piece.strip()
+                    ]
+                else:
+                    addresses = [str(piece) for piece in remote_workers]
+                if not addresses:
+                    raise CLIError("--remote-workers needs at least one address")
+                transport = SocketTransport(addresses)
+            try:
+                report = shard_execute(
+                    plan,
+                    spec.sharded_source(),
+                    backend,
+                    shards=shards,
+                    chunk_size=chunk_size,
+                    workers=workers,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                    retry_policy=(
+                        RetryPolicy(max_attempts=shard_retries + 1)
+                        if shard_retries is not None
+                        else None
+                    ),
+                    shard_timeout=shard_timeout,
+                    faults=fault_plan,
+                    transport=transport,
+                )
+            finally:
+                if transport is not None:
+                    transport.close()
         elif mode == "streaming":
             workers = args.workers if args.workers is not None else spec.get_int("workers", 0)
             report = stream_execute(
@@ -625,10 +676,13 @@ def _print_report(report: ExecutionReport, output: Optional[str]) -> None:
         if report.shards_retried
         else ""
     )
+    transport_note = (
+        f" via {report.transport} transport" if report.transport != "local" else ""
+    )
     verb = "would load" if report.dry_run else "loaded"
     print(
         f"{verb} {report.total_rows} rows in {report.execution_time:.2f}s"
-        f"{chunk_note}{shard_note}{resume_note}{retry_note}"
+        f"{chunk_note}{shard_note}{transport_note}{resume_note}{retry_note}"
     )
     if report.dry_run:
         print("dry run: no rows were written")
@@ -777,6 +831,23 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_worker(args) -> int:
+    """``repro worker``: serve shard requests for remote drivers.
+
+    Binds a TCP or Unix socket, prints ``worker listening on <address>``
+    (the line drivers and process supervisors wait for), and executes
+    shards until interrupted.  The wire protocol carries pickled plans and
+    rows — listen only on loopback, a Unix socket, or a trusted network
+    (docs/distributed.md#security-model).
+    """
+    from .worker import run_worker
+
+    return run_worker(
+        args.listen,
+        expect_fingerprint=args.expect_fingerprint,
+    )
+
+
 def _cmd_serve(args) -> int:
     """``repro serve``: run the migration-service daemon until shutdown."""
     from .service.server import serve
@@ -860,10 +931,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--shards",
-            type=int,
+            type=_shards_value,
             help="sharded execution: split the document into N contiguous "
             "record shards, execute them in worker processes and merge with "
-            "cross-shard key reconciliation (docs/backends.md)",
+            "cross-shard key reconciliation (docs/backends.md); 'auto' sizes "
+            "the partition from records x cores x chunk size "
+            "(docs/distributed.md)",
         )
         sub.add_argument(
             "--chunk-size", type=int, help="records per chunk (streaming/sharded)"
@@ -909,6 +982,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="sharded only: deterministic fault injection for chaos "
             "testing, e.g. kill:shard=2:attempt=1,delay:shard=0:ms=500 "
             "(also via REPRO_FAULTS; docs/robustness.md)",
+        )
+        sub.add_argument(
+            "--remote-workers",
+            metavar="ADDRS",
+            help="sharded only: run the map stage on remote `repro worker` "
+            "processes instead of local ones — a comma-separated list of "
+            "HOST:PORT or unix socket addresses (docs/distributed.md)",
         )
         sub.add_argument(
             "--report-json",
@@ -994,6 +1074,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a remote shard worker: executes shards shipped over a "
+        "socket transport and streams validated spill frames back "
+        "(docs/distributed.md)",
+    )
+    worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        help="address to serve on: HOST:PORT (port 0 picks a free port, "
+        "printed on startup) or a unix socket path (default: 127.0.0.1:0)",
+    )
+    worker.add_argument(
+        "--expect-fingerprint",
+        metavar="FP",
+        help="pin the worker to one plan content fingerprint: any other "
+        "plan is rejected at handshake",
+    )
+    worker.set_defaults(handler=_cmd_worker)
     return parser
 
 
@@ -1010,6 +1110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ColumnarBackendError,
         ShardError,
         FaultError,
+        TransportError,
         SerializationError,
         SchemaError,
         VerificationError,

@@ -200,6 +200,11 @@ class ExecutionReport:
     dry_run: bool = False
     """True when rows were counted but never written (``--dry-run``)."""
 
+    transport: str = "local"
+    """Which :class:`~repro.runtime.transport.ShardTransport` ran the map
+    stage (``"local"`` for in-process/subprocess shards, ``"socket"`` for
+    remote workers; whole-tree and streamed runs report ``"local"``)."""
+
     @property
     def total_rows(self) -> int:
         return sum(self.per_table_rows.values())
@@ -227,6 +232,7 @@ class ExecutionReport:
             "shards_failed": self.shards_failed,
             "shard_failures": [dict(failure) for failure in self.shard_failures],
             "dry_run": self.dry_run,
+            "transport": self.transport,
         }
 
 

@@ -12,6 +12,7 @@ Spec grammar (see docs/robustness.md#fault-injection-spec-grammar)::
     spec    := rule ("," rule)*
     rule    := action (":" selector)*
     action  := "kill" | "delay" | "fail" | "truncate_spill" | "lock_db"
+             | "drop_conn" | "corrupt_frame" | "stall"
     selector:= "shard=" int | "attempt=" int | "ms=" int
 
 A selector that is omitted matches every value, so ``kill:shard=2`` kills
@@ -30,6 +31,15 @@ succeeds).  Injection sites:
 ``backend insert``
     ``lock_db`` raises ``sqlite3.OperationalError("database is locked")``
     before a batch insert, exercising the backend's retry loop.
+``wire frame`` (remote workers only, docs/distributed.md#fault-injection)
+    fired by a ``repro worker`` as it streams a finished shard's spill
+    back over a :class:`~repro.runtime.transport.SocketTransport`:
+    ``stall`` sleeps ``ms`` milliseconds before the first data frame,
+    ``corrupt_frame`` flips a payload byte after the CRC is computed (the
+    client detects the mismatch and re-dispatches), and ``drop_conn``
+    sends half of the first data frame and severs the connection — the
+    "cable cut mid-result" case that must retry to a byte-identical
+    result, never a silently truncated one.
 
 Plans are carried explicitly through the map stage (they are pickled into
 worker payloads), and *ambiently* — via a context variable or the
@@ -70,7 +80,19 @@ ENV_VAR = "REPRO_FAULTS"
 #: purpose, so a supervisor log line is attributable to the harness).
 KILL_EXIT_CODE = 70
 
-FAULT_ACTIONS = ("kill", "delay", "fail", "truncate_spill", "lock_db")
+FAULT_ACTIONS = (
+    "kill",
+    "delay",
+    "fail",
+    "truncate_spill",
+    "lock_db",
+    "drop_conn",
+    "corrupt_frame",
+    "stall",
+)
+
+#: Actions that take (and require, for the sleeping ones) an ``ms=`` selector.
+_TIMED_ACTIONS = ("delay", "stall")
 
 
 class FaultError(Exception):
@@ -144,10 +166,10 @@ def _parse_rule(text: str) -> FaultRule:
             attempt = number
         elif key == "ms":
             ms = number
-    if action == "delay" and ms <= 0:
-        raise FaultError(f"delay rule {text!r} needs ms=<milliseconds>")
-    if action != "delay" and ms:
-        raise FaultError(f"ms= only applies to delay rules (got {text!r})")
+    if action in _TIMED_ACTIONS and ms <= 0:
+        raise FaultError(f"{action} rule {text!r} needs ms=<milliseconds>")
+    if action not in _TIMED_ACTIONS and ms:
+        raise FaultError(f"ms= only applies to delay/stall rules (got {text!r})")
     return FaultRule(action, shard=shard, attempt=attempt, ms=ms)
 
 
@@ -299,3 +321,25 @@ class FaultContext:
                 f"injected spill truncation [{rule.to_spec()}] "
                 f"(shard {self.shard}, attempt {self.attempt})"
             )
+
+    def wire_frame(self, frame_index: int) -> Optional[str]:
+        """Wire-path hook, fired by a remote worker per outgoing data frame.
+
+        Deterministically targets the *first* data frame of the matching
+        shard attempt so every injected wire fault lands at the same byte
+        position run after run.  ``stall`` sleeps here and returns ``None``;
+        ``corrupt_frame``/``drop_conn`` return ``"corrupt"``/``"drop"`` for
+        the worker's framing loop to act on.
+        """
+        if frame_index != 0:
+            return None
+        rule = self._match("stall")
+        if rule is not None:
+            time.sleep(rule.ms / 1000.0)
+        rule = self._match("corrupt_frame")
+        if rule is not None:
+            return "corrupt"
+        rule = self._match("drop_conn")
+        if rule is not None:
+            return "drop"
+        return None

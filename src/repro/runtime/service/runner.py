@@ -324,7 +324,11 @@ class JobRunner:
             )
         if params.get("whole_tree"):
             return execute_plan(plan, spec.full_document(), backend)
-        shards = int(params.get("shards") or spec.get_int("shards", 0) or 4)
+        raw_shards = params.get("shards") or spec.get("shards") or 4
+        if isinstance(raw_shards, str) and raw_shards.strip().lower() == "auto":
+            shards: object = "auto"
+        else:
+            shards = int(raw_shards)
         checkpoint = ShardCheckpoint(
             os.path.join(self.state_dir, "checkpoints", job.id)
         )
@@ -335,20 +339,37 @@ class JobRunner:
             if shard_retries is not None
             else None
         )
-        return shard_execute(
-            plan,
-            spec.sharded_source(),
-            backend,
-            shards=shards,
-            chunk_size=chunk_size,
-            workers=workers,
-            checkpoint=checkpoint,
-            resume=job.resumes > 0,
-            progress=progress,
-            retry_policy=retry_policy,
-            shard_timeout=None if shard_timeout is None else float(shard_timeout),
-            faults=params.get("inject_faults"),
-        )
+        remote_workers = params.get("remote_workers") or spec.get("remote_workers")
+        transport = None
+        if remote_workers:
+            from ..transport import SocketTransport
+
+            if isinstance(remote_workers, str):
+                addresses = [
+                    piece.strip() for piece in remote_workers.split(",") if piece.strip()
+                ]
+            else:
+                addresses = [str(piece) for piece in remote_workers]
+            transport = SocketTransport(addresses)
+        try:
+            return shard_execute(
+                plan,
+                spec.sharded_source(),
+                backend,
+                shards=shards,
+                chunk_size=chunk_size,
+                workers=workers,
+                checkpoint=checkpoint,
+                resume=job.resumes > 0,
+                progress=progress,
+                retry_policy=retry_policy,
+                shard_timeout=None if shard_timeout is None else float(shard_timeout),
+                faults=params.get("inject_faults"),
+                transport=transport,
+            )
+        finally:
+            if transport is not None:
+                transport.close()
 
     def _make_backend(
         self, job: Job, spec, *, dry_run: bool

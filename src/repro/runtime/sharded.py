@@ -45,6 +45,19 @@ graceful degradation into :class:`ShardDegradedError` instead of a mid-run
 abort.  Failures can be induced deterministically with a
 :class:`~repro.runtime.faults.FaultPlan` (``faults=`` / ``REPRO_FAULTS``).
 See docs/robustness.md.
+
+*Where* the map stage runs is pluggable (:class:`~repro.runtime.transport.
+ShardTransport`, docs/distributed.md): the default
+:class:`~repro.runtime.transport.LocalTransport` keeps the single-machine
+process pool above, while a :class:`~repro.runtime.transport.
+SocketTransport` ships shards to remote ``repro worker`` processes and
+streams their validated spill frames back — the reduce stage cannot tell
+the difference.  ``shards="auto"`` sizes the partition from the record
+count, core count, and chunk size (:func:`auto_shard_count`), and XML
+sources index record byte offsets during the counting pass
+(:func:`~repro.hdt.xml_plugin.build_xml_record_index`) so every shard —
+local or remote — seeks straight to its range instead of re-parsing the
+whole document.
 """
 
 from __future__ import annotations
@@ -58,6 +71,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..hdt.tree import HDT
+from ..hdt.xml_plugin import XMLRecordIndex, build_xml_record_index
 from .backends.base import ExecutionBackend, Row
 from .backends.memory import MemoryBackend
 from .executor import (
@@ -73,11 +87,13 @@ from .streaming import (
     Chunk,
     count_json_records,
     count_xml_records,
+    iter_indexed_xml_chunks,
     iter_json_chunks,
     iter_tree_chunks,
     iter_xml_chunks,
 )
 from .supervisor import RetryPolicy, ShardFailure, ShardSupervisor
+from .transport import LocalTransport, ShardMapJob, ShardTransport
 
 #: Rows per spilled batch — bounds both worker buffering and parent replay.
 SPILL_BATCH_ROWS = 4096
@@ -159,9 +175,85 @@ def partition_records(total: int, shards: int) -> List[ShardSpec]:
     return specs
 
 
+#: Records a shard must amortize before fan-out pays for itself: below
+#: roughly this many records per shard, process/transport overhead dominates
+#: (BENCH_PR5: fan-out only pays past 1 core *and* a non-trivial range).
+MIN_AUTO_SHARD_RECORDS = 512
+
+
+def auto_shard_count(
+    records: int,
+    cores: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> int:
+    """Pick a shard count from the workload: records × cores × chunk size.
+
+    The heuristic (docs/distributed.md#shard-count-auto-tuning): one shard
+    per core, but never so many that a shard holds fewer than two chunks'
+    worth of records (or :data:`MIN_AUTO_SHARD_RECORDS`, whichever is
+    larger) — a shard that cannot fill two chunks spends its time on
+    process/transport overhead, not parsing.  Single-core machines and
+    empty documents get one shard: fan-out cannot pay there at all.
+    """
+    if cores is None:
+        cores = os.cpu_count() or 1
+    if cores <= 1 or records <= 0:
+        return 1
+    per_shard = max(2 * chunk_size, MIN_AUTO_SHARD_RECORDS)
+    return max(1, min(cores, records // per_shard))
+
+
+def resolve_shard_count(
+    shards: Union[int, str],
+    records: int,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cores: Optional[int] = None,
+) -> int:
+    """Resolve a ``shards`` argument: an integer, or ``"auto"`` for
+    :func:`auto_shard_count` (the ``--shards auto`` CLI path)."""
+    if isinstance(shards, str):
+        if shards.strip().lower() != "auto":
+            raise ShardError(f'shards must be an integer or "auto" (got {shards!r})')
+        return auto_shard_count(records, cores=cores, chunk_size=chunk_size)
+    return int(shards)
+
+
 # --------------------------------------------------------------------------- #
 # Shardable sources
 # --------------------------------------------------------------------------- #
+
+
+#: ``(abspath, size, mtime_ns) -> XMLRecordIndex`` / record count.  The
+#: counting pass used to re-scan the source once per ``shard_execute`` call —
+#: resume and dry-run paid it twice.  Keyed by a content fingerprint of the
+#: file's identity+stat, so an edited file re-counts and an unchanged one
+#: never does.  Bounded: oldest entries evicted past the cap.
+_XML_INDEX_CACHE: Dict[Tuple[str, int, int], XMLRecordIndex] = {}
+_JSON_COUNT_CACHE: Dict[Tuple[str, int, int], int] = {}
+_SOURCE_CACHE_MAX = 64
+
+
+def _source_cache_key(path: str) -> Optional[Tuple[str, int, int]]:
+    """A file's cache identity, or ``None`` for anything unstat-able
+    (missing files, inline JSON content strings)."""
+    try:
+        stat = os.stat(path)
+    except (OSError, ValueError):
+        return None
+    return (os.path.abspath(path), stat.st_size, stat.st_mtime_ns)
+
+
+def _cache_put(cache: Dict, key, value) -> None:
+    if len(cache) >= _SOURCE_CACHE_MAX:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def clear_source_caches() -> None:
+    """Drop the cached XML indexes and JSON counts (tests, memory pressure)."""
+    _XML_INDEX_CACHE.clear()
+    _JSON_COUNT_CACHE.clear()
 
 
 class ShardSource:
@@ -195,17 +287,60 @@ class TreeSource(ShardSource):
 
 
 class XMLSource(ShardSource):
-    """Shard an XML file.  Each worker re-parses incrementally, converting
-    only its own record window (positions stay whole-document)."""
+    """Shard an XML file.
+
+    The counting pass builds a byte-offset record index
+    (:func:`~repro.hdt.xml_plugin.build_xml_record_index`) — cached by the
+    file's identity+stat and carried to workers inside the pickled source —
+    so each shard *seeks* to its record range and parses O(range) bytes,
+    instead of re-parsing the whole document per shard.  Documents the
+    index cannot serve (namespaced, or unparseable by expat) fall back to
+    the full incremental reparse with identical output.
+    """
 
     def __init__(self, path: str, *, coerce_numbers: bool = True) -> None:
         self.path = path
         self.coerce_numbers = coerce_numbers
+        self._index: Optional[XMLRecordIndex] = None
+        self._index_failed = False
+        self._count: Optional[int] = None
+
+    def record_index(self) -> Optional[XMLRecordIndex]:
+        if self._index is not None or self._index_failed:
+            return self._index
+        key = _source_cache_key(self.path)
+        if key is not None and key in _XML_INDEX_CACHE:
+            self._index = _XML_INDEX_CACHE[key]
+            return self._index
+        try:
+            index = build_xml_record_index(self.path)
+        except Exception:  # noqa: BLE001 - expat/OS failures fall back below,
+            # so malformed documents keep ElementTree's error surface.
+            self._index_failed = True
+            return None
+        self._index = index
+        if key is not None:
+            _cache_put(_XML_INDEX_CACHE, key, index)
+        return index
 
     def count_records(self) -> int:
-        return count_xml_records(self.path)
+        if self._count is None:
+            index = self.record_index()
+            self._count = (
+                index.record_count if index is not None else count_xml_records(self.path)
+            )
+        return self._count
 
     def iter_chunks(self, start: int, stop: int, chunk_size: int) -> Iterator[Chunk]:
+        index = self.record_index()
+        if index is not None and index.seekable:
+            return iter_indexed_xml_chunks(
+                self.path,
+                index,
+                chunk_size,
+                coerce_numbers=self.coerce_numbers,
+                record_range=(start, stop),
+            )
         return iter_xml_chunks(
             self.path,
             chunk_size,
@@ -215,13 +350,37 @@ class XMLSource(ShardSource):
 
 
 class JSONSource(ShardSource):
-    """Shard a JSON document (path or already-decoded value)."""
+    """Shard a JSON document (path or already-decoded value).
+
+    File-backed counts are cached by the file's identity+stat (the stdlib
+    has no incremental JSON parser, so the count is a full decode — worth
+    paying exactly once per file version); inline content and decoded
+    values memoize on the instance only.
+    """
 
     def __init__(self, source: Union[str, list, dict]) -> None:
         self.source = source
+        self._count: Optional[int] = None
+
+    def _cache_key(self) -> Optional[Tuple[str, int, int]]:
+        if not isinstance(self.source, str):
+            return None
+        stripped = self.source.lstrip()
+        if stripped.startswith("{") or stripped.startswith("["):
+            return None  # inline JSON content, not a path
+        return _source_cache_key(self.source)
 
     def count_records(self) -> int:
-        return count_json_records(self.source)
+        if self._count is not None:
+            return self._count
+        key = self._cache_key()
+        if key is not None and key in _JSON_COUNT_CACHE:
+            self._count = _JSON_COUNT_CACHE[key]
+            return self._count
+        self._count = count_json_records(self.source)
+        if key is not None:
+            _cache_put(_JSON_COUNT_CACHE, key, self._count)
+        return self._count
 
     def iter_chunks(self, start: int, stop: int, chunk_size: int) -> Iterator[Chunk]:
         return iter_json_chunks(self.source, chunk_size, record_range=(start, stop))
@@ -644,7 +803,7 @@ def shard_execute(
     source: Union[ShardSource, HDT, str],
     backend: Optional[ExecutionBackend] = None,
     *,
-    shards: int = 2,
+    shards: Union[int, str] = 2,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: Optional[int] = None,
     spill_dir: Optional[str] = None,
@@ -654,15 +813,29 @@ def shard_execute(
     retry_policy: Optional[RetryPolicy] = None,
     shard_timeout: Optional[float] = None,
     faults: Union[FaultPlan, str, None] = None,
+    transport: Optional[ShardTransport] = None,
 ) -> ExecutionReport:
     """Execute a plan over record shards in parallel processes.
 
-    ``workers`` caps concurrent shard processes (default: one per shard,
-    bounded by the CPU count; ``0``/``1`` executes the shards in-process,
-    still through the full spill/reduce protocol — useful for tests and for
-    machines where fork is expensive).  ``spill_dir`` keeps the per-shard
-    spill files in a caller-managed directory; by default a temporary
-    directory is used and removed when execution finishes.
+    ``shards`` is an integer or ``"auto"``, which sizes the partition from
+    the record count, the core count, and ``chunk_size``
+    (:func:`auto_shard_count`).  ``workers`` caps concurrent shard processes
+    (default: one per shard, bounded by the CPU count; ``0``/``1`` executes
+    the shards in-process, still through the full spill/reduce protocol —
+    useful for tests and for machines where fork is expensive).
+    ``spill_dir`` keeps the per-shard spill files in a caller-managed
+    directory; by default a temporary directory is used and removed when
+    execution finishes.
+
+    ``transport`` chooses *where* the map stage runs
+    (docs/distributed.md): the default
+    :class:`~repro.runtime.transport.LocalTransport` is the process pool
+    described above; a :class:`~repro.runtime.transport.SocketTransport`
+    ships shards to remote ``repro worker`` processes and streams their
+    validated spill frames back.  Every transport satisfies the same
+    contract — a spill file per shard that replays cleanly under this
+    plan's fingerprint — so the reduce stage (and the output) is identical.
+    A caller-provided transport is *not* closed here.
 
     The map stage is supervised (docs/robustness.md): a shard attempt that
     dies, times out (``shard_timeout`` seconds — forces process isolation),
@@ -718,7 +891,8 @@ def shard_execute(
     backend = backend if backend is not None else MemoryBackend()
     start = time.perf_counter()
     total_records = resolved.count_records()
-    specs = partition_records(total_records, shards)
+    shard_count = resolve_shard_count(shards, total_records, chunk_size=chunk_size)
+    specs = partition_records(total_records, shard_count)
     fingerprint = plan.content_fingerprint()
     completed: Dict[int, Dict[str, object]] = {}
     if checkpoint is not None:
@@ -751,47 +925,33 @@ def shard_execute(
         if progress is not None:
             progress(len(manifests), len(specs))
 
-    # Process isolation is what makes timeouts enforceable and worker death
-    # survivable; the serial path keeps tests and 1-worker runs cheap.
-    use_processes = bool(pending) and (workers > 1 or shard_timeout is not None)
-    tasks: List[Tuple[int, Dict[str, object]]] = []
-    shared_executions = None
-    if pending and not use_processes:
-        shared_executions = compile_plan_executions(plan)
-    for spec in pending:
-        payload: Dict[str, object] = {
-            "plan": plan,
-            "source": resolved,
-            "spec": spec,
-            "chunk_size": chunk_size,
-            "spill_path": _spill_path(directory, spec.index),
-            "fingerprint": fingerprint,
-            "faults": fault_plan,
-            "in_process": not use_processes,
-        }
-        if shared_executions is not None:
-            payload["executions"] = shared_executions
-        tasks.append((spec.index, payload))
-
-    supervisor = ShardSupervisor(
-        _attempt_shard,
-        policy=policy,
-        concurrency=max(1, min(workers, len(pending)) if pending else 1),
-        timeout=shard_timeout if use_processes else None,
+    map_transport = transport if transport is not None else LocalTransport()
+    report.transport = map_transport.name
+    job = ShardMapJob(
+        plan=plan,
+        fingerprint=fingerprint,
+        source=resolved,
+        specs=pending,
+        chunk_size=chunk_size,
+        spill_paths={spec.index: _spill_path(directory, spec.index) for spec in specs},
         scratch_dir=directory,
+        policy=policy,
+        workers=workers,
+        shard_timeout=shard_timeout,
+        faults=fault_plan,
         on_complete=_shard_done,
-        in_process=not use_processes,
     )
     try:
         if progress is not None:
             progress(len(manifests), len(specs))
-        # Map: fill the spill files under supervision.  ``_shard_done`` runs
-        # in this process the moment each shard finishes, so the checkpoint
-        # manifest — and the caller's progress — never wait on stragglers.
-        # The ambient fault activation covers the reduce stage's
-        # backend-insert hook (the map stage carries the plan explicitly).
+        # Map: fill the spill files under transport-specific supervision.
+        # ``_shard_done`` runs in this process the moment each shard
+        # finishes, so the checkpoint manifest — and the caller's progress —
+        # never wait on stragglers.  The ambient fault activation covers the
+        # reduce stage's backend-insert hook (the map stage carries the plan
+        # explicitly).
         with fault_activation(fault_plan):
-            outcome = supervisor.run(tasks)
+            outcome = map_transport.run_map(job)
             report.shards_retried = outcome.retries
             report.chunks = sum(int(m["chunks"]) for m in manifests.values())
             if outcome.failures:

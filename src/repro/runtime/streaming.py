@@ -105,6 +105,7 @@ def iter_xml_chunks(
     *,
     coerce_numbers: bool = True,
     record_range: Optional[Tuple[int, int]] = None,
+    tag_positions: Optional[Dict[str, int]] = None,
 ) -> Iterator[Chunk]:
     """Incrementally parse an XML file into record chunks.
 
@@ -124,6 +125,10 @@ def iter_xml_chunks(
     runtime partitions on.  Skipped records are still parsed (and counted,
     so per-tag positions stay whole-document) but never converted to nodes,
     and parsing stops early once ``stop`` is reached.
+
+    ``tag_positions`` seeds the per-tag position counters — the hook the
+    byte-offset index path (:func:`iter_indexed_xml_chunks`) uses to start
+    parsing mid-document while keeping whole-document record positions.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
@@ -133,7 +138,7 @@ def iter_xml_chunks(
     document_root: Optional[ET.Element] = None
     root_tag = ROOT_TAG
     root_extras: List[Tuple[str, int, Scalar]] = []
-    tag_counts: Dict[str, int] = {}
+    tag_counts: Dict[str, int] = dict(tag_positions) if tag_positions else {}
     records: List[Node] = []
     index = 0
     sequence = 0
@@ -204,6 +209,109 @@ def count_xml_records(source: Union[str, IO]) -> int:
                 except ValueError:  # pragma: no cover - defensive
                     pass
     return count
+
+
+class _ByteSpliceReader:
+    """A read-only binary file-like over ``preamble + file[start:stop] + suffix``.
+
+    Feeds :func:`xml.etree.ElementTree.iterparse` a mid-document byte slice
+    as if it were a complete document, without materializing the slice: the
+    middle segment streams straight from the underlying file.
+    """
+
+    def __init__(self, path: str, preamble: bytes, start: int, stop: int, suffix: bytes):
+        self._handle = open(path, "rb")
+        self._handle.seek(start)
+        self._remaining = max(0, stop - start)
+        self._head = preamble
+        self._tail = suffix
+        self.closed = False
+
+    def read(self, size: int = -1) -> bytes:
+        if size is None or size < 0:
+            pieces = [self._head]
+            if self._remaining:
+                pieces.append(self._handle.read(self._remaining))
+                self._remaining = 0
+            pieces.append(self._tail)
+            self._head = b""
+            self._tail = b""
+            return b"".join(pieces)
+        out = bytearray()
+        while len(out) < size:
+            want = size - len(out)
+            if self._head:
+                out += self._head[:want]
+                self._head = self._head[want:]
+            elif self._remaining:
+                piece = self._handle.read(min(want, self._remaining))
+                if not piece:
+                    self._remaining = 0  # file shrank underneath us; stop cleanly
+                    continue
+                self._remaining -= len(piece)
+                out += piece
+            elif self._tail:
+                out += self._tail[:want]
+                self._tail = self._tail[want:]
+            else:
+                break
+        return bytes(out)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "_ByteSpliceReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_indexed_xml_chunks(
+    path: str,
+    index,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    coerce_numbers: bool = True,
+    record_range: Optional[Tuple[int, int]] = None,
+) -> Iterator[Chunk]:
+    """Like :func:`iter_xml_chunks` over a file, but *seek* to the record
+    range using a :class:`~repro.hdt.xml_plugin.XMLRecordIndex` instead of
+    parsing every record before ``start`` — the difference between O(range)
+    and O(file) per shard.
+
+    The yielded chunks are identical to the full-reparse path's: the spliced
+    document keeps the original preamble (XML declaration, doctype, the root
+    start tag with its attributes), and per-tag position counters are seeded
+    from the index so record positions stay whole-document.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if not index.seekable:
+        raise ValueError("index is not seekable (namespaced document)")
+    start, stop = _normalize_record_range(record_range)
+    total = index.record_count
+    start = min(start, total)
+    stop = total if stop is None else min(stop, total)
+    if start >= stop:
+        return
+    with open(path, "rb") as handle:
+        preamble = handle.read(index.offsets[0])
+    end_byte = index.offsets[stop] if stop < total else index.content_end
+    suffix = f"</{index.root_tag}>".encode(index.encoding)
+    positions: Dict[str, int] = {}
+    for tag in index.tags[:start]:
+        positions[tag] = positions.get(tag, 0) + 1
+    with _ByteSpliceReader(path, preamble, index.offsets[start], end_byte, suffix) as reader:
+        for chunk in iter_xml_chunks(
+            reader,
+            chunk_size,
+            coerce_numbers=coerce_numbers,
+            tag_positions=positions,
+        ):
+            yield chunk
 
 
 def iter_json_chunks(

@@ -69,6 +69,21 @@ _CRASH_TYPE_NAMES = frozenset(
     }
 )
 
+#: Transport error type names that mean "the wire failed, not the work":
+#: a reset/ timed-out connection or a frame that failed its checksum.  The
+#: shard is intact somewhere — re-dispatching it (to a surviving worker,
+#: for socket transports) is always sound.  Handshake rejections and
+#: worker exhaustion (``HandshakeError``, ``WorkerUnavailable``) are
+#: deliberately *not* here: retrying them cannot help
+#: (docs/distributed.md#retry-and-redispatch).
+_TRANSPORT_RETRYABLE_NAMES = frozenset(
+    {
+        "TransportError",
+        "ConnectionLost",
+        "FrameError",
+    }
+)
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -112,7 +127,14 @@ class RetryPolicy:
 
     @staticmethod
     def _is_retryable_single(error: BaseException) -> bool:
-        if type(error).__name__ in _CRASH_TYPE_NAMES:
+        # An error that crossed a transport carries the *worker's own*
+        # classification (made with this same shipped policy); honour it
+        # verbatim so both sides of the wire agree.
+        hint = getattr(error, "retryable_hint", None)
+        if hint is not None:
+            return bool(hint)
+        name = type(error).__name__
+        if name in _CRASH_TYPE_NAMES or name in _TRANSPORT_RETRYABLE_NAMES:
             return True
         if isinstance(error, sqlite3.OperationalError):
             message = str(error).lower()
@@ -166,6 +188,14 @@ class ShardFailure:
             retryable=bool(payload["retryable"]),
             traceback=str(payload.get("traceback", "")),
         )
+
+
+def _failure_type(error: BaseException) -> str:
+    """The type name recorded in a :class:`ShardFailure`.  An error that
+    crossed a transport keeps its *original* type name (``remote_type``)
+    so a failure report reads the same whether the shard failed here or
+    on a remote worker."""
+    return str(getattr(error, "remote_type", type(error).__name__))
 
 
 @dataclass
@@ -240,6 +270,12 @@ class ShardSupervisor:
     * ``in_process=True`` — attempts run serially in the calling process
       (the ``workers <= 1`` path, where process isolation buys nothing and
       ``timeout`` cannot be enforced).
+    * ``use_threads=True`` — attempts run on a thread pool.  For workers
+      that *wait* rather than compute: a socket transport's attempt is a
+      wire conversation blocked on a remote process, so threads give real
+      concurrency without pickling anything.  ``timeout`` is rejected here
+      (threads cannot be killed; socket transports bound their reads with
+      socket timeouts instead).
 
     ``on_complete(shard, result)`` fires in the *calling* process as each
     shard finishes — the checkpoint/progress hook.  If it raises, the
@@ -256,12 +292,15 @@ class ShardSupervisor:
         scratch_dir: Optional[str] = None,
         on_complete: Optional[Callable[[int, Any], None]] = None,
         in_process: bool = False,
+        use_threads: bool = False,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive")
-        if in_process and timeout is not None:
+        if in_process and use_threads:
+            raise ValueError("in_process and use_threads are mutually exclusive")
+        if (in_process or use_threads) and timeout is not None:
             raise ValueError("timeout requires process isolation (in_process=False)")
-        if not in_process and scratch_dir is None:
+        if not in_process and not use_threads and scratch_dir is None:
             raise ValueError("subprocess mode needs a scratch_dir for result files")
         self.worker = worker
         self.policy = policy if policy is not None else RetryPolicy()
@@ -270,10 +309,13 @@ class ShardSupervisor:
         self.scratch_dir = scratch_dir
         self.on_complete = on_complete
         self.in_process = in_process
+        self.use_threads = use_threads
 
     def run(self, tasks: Sequence[Tuple[int, Any]]) -> SupervisionOutcome:
         if self.in_process:
             return self._run_in_process(tasks)
+        if self.use_threads:
+            return self._run_threads(tasks)
         return self._run_processes(tasks)
 
     # ------------------------------------------------------------------ #
@@ -298,7 +340,7 @@ class ShardSupervisor:
                         ShardFailure(
                             shard=shard,
                             attempts=attempt,
-                            error_type=type(error).__name__,
+                            error_type=_failure_type(error),
                             error=str(error),
                             retryable=retryable,
                             traceback=traceback.format_exc(),
@@ -309,6 +351,73 @@ class ShardSupervisor:
                 if self.on_complete is not None:
                     self.on_complete(shard, result)
                 break
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Thread mode (transport conversations)
+    # ------------------------------------------------------------------ #
+
+    def _run_threads(self, tasks: Sequence[Tuple[int, Any]]) -> SupervisionOutcome:
+        from concurrent import futures as cf
+
+        outcome = SupervisionOutcome()
+        # Same (eligible time, shard, payload, attempt) queue discipline as
+        # subprocess mode: backoff delays eligibility, never the whole stage.
+        runnable: List[Tuple[float, int, Any, int]] = [
+            (0.0, shard, payload, 1) for shard, payload in tasks
+        ]
+        active: Dict[Any, Tuple[int, Any, int]] = {}
+        executor = cf.ThreadPoolExecutor(
+            max_workers=self.concurrency, thread_name_prefix="repro-shard"
+        )
+        try:
+            while runnable or active:
+                now = time.monotonic()
+                runnable.sort(key=lambda entry: entry[0])
+                while runnable and len(active) < self.concurrency and runnable[0][0] <= now:
+                    _, shard, payload, attempt = runnable.pop(0)
+                    future = executor.submit(self.worker, payload, attempt)
+                    active[future] = (shard, payload, attempt)
+                if not active:
+                    time.sleep(max(0.0, runnable[0][0] - time.monotonic()))
+                    continue
+                wait_for: Optional[float] = None
+                if runnable:
+                    wait_for = max(0.0, runnable[0][0] - time.monotonic())
+                done, _pending = cf.wait(
+                    list(active), timeout=wait_for, return_when=cf.FIRST_COMPLETED
+                )
+                for future in done:
+                    shard, payload, attempt = active.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        result = future.result()
+                        outcome.results[shard] = result
+                        if self.on_complete is not None:
+                            self.on_complete(shard, result)
+                        continue
+                    retryable = self.policy.is_retryable(error)
+                    if retryable and attempt < self.policy.max_attempts:
+                        outcome.retries += 1
+                        eligible = time.monotonic() + self.policy.delay_for(shard, attempt)
+                        runnable.append((eligible, shard, payload, attempt + 1))
+                        continue
+                    outcome.failures.append(
+                        ShardFailure(
+                            shard=shard,
+                            attempts=attempt,
+                            error_type=_failure_type(error),
+                            error=str(error),
+                            retryable=retryable,
+                            traceback="".join(
+                                traceback.format_exception(
+                                    type(error), error, error.__traceback__
+                                )
+                            ),
+                        )
+                    )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
         return outcome
 
     # ------------------------------------------------------------------ #

@@ -8,6 +8,11 @@ resume of only the failed shards), the hardened SQLite insert path, the
 CLI's `--shard-retries`/`--shard-timeout`/`--inject-faults` surface, and
 the service's `error_detail` + degraded-job reporting.  See
 docs/robustness.md.
+PR 9 adds the wire-path actions (`drop_conn`, `corrupt_frame`, `stall`):
+their grammar, the transport error classification in `RetryPolicy`, and
+the end-to-end guarantees — a connection cut mid-frame retries to a
+byte-identical result, and a persistently corrupted stream degrades
+loudly instead of ever truncating output silently.
 """
 
 import json
@@ -546,3 +551,162 @@ def test_degraded_job_keeps_structured_report(runner):
     assert resumed.error_detail is None
     assert resumed.report is None
     _await(runner, job.id)  # let it finish (it degrades again) before teardown
+
+
+# --------------------------------------------------------------------------- #
+# Wire-path faults (PR 9): grammar, classification, end-to-end guarantees
+# --------------------------------------------------------------------------- #
+
+
+def test_wire_fault_grammar():
+    spec = "drop_conn:shard=1:attempt=1,corrupt_frame:shard=0,stall:shard=2:ms=250"
+    plan = FaultPlan.parse(spec)
+    assert plan.to_spec() == spec
+    assert plan.rules[0] == FaultRule("drop_conn", shard=1, attempt=1)
+    assert plan.rules[2].ms == 250
+    with pytest.raises(FaultError, match="needs ms="):
+        FaultPlan.parse("stall:shard=1")  # stall is a timed action
+    with pytest.raises(FaultError, match="ms= only applies to delay/stall"):
+        FaultPlan.parse("corrupt_frame:ms=5")
+    with pytest.raises(FaultError, match="ms= only applies to delay/stall"):
+        FaultPlan.parse("drop_conn:ms=5")
+
+
+def test_retry_policy_transport_error_classification():
+    from repro.runtime.transport import (
+        ConnectionLost,
+        FrameError,
+        HandshakeError,
+        RemoteShardError,
+        TransportError,
+        WorkerUnavailable,
+    )
+
+    policy = RetryPolicy()
+    for error in (
+        TransportError("generic wire trouble"),
+        ConnectionLost("peer reset mid-frame"),
+        FrameError("crc mismatch"),
+    ):
+        assert policy.is_retryable(error), error
+    for error in (
+        HandshakeError("plan fingerprint rejected"),
+        WorkerUnavailable("no live workers"),
+    ):
+        assert not policy.is_retryable(error), error
+    # A remote failure carries the worker's own classification, made with
+    # the driver's shipped policy; the hint is honoured verbatim.
+    assert policy.is_retryable(
+        RemoteShardError("remote crash", remote_type="WorkerCrash", retryable=True)
+    )
+    assert not policy.is_retryable(
+        RemoteShardError("remote bug", remote_type="ValueError", retryable=False)
+    )
+
+
+def test_drop_conn_mid_frame_retries_to_identical_result(
+    dblp_plan, document, reference
+):
+    """The acceptance case: a connection severed mid-frame (half a frame
+    delivered, then a dead socket) re-dispatches the shard and the final
+    output is byte-identical to an unfaulted run."""
+    from repro.runtime.transport import SocketTransport
+    from repro.runtime.worker import ShardWorker
+
+    with ShardWorker() as worker:
+        with SocketTransport([worker.address]) as transport:
+            report = shard_execute(
+                dblp_plan, document, shards=3, workers=1, chunk_size=4,
+                faults="drop_conn:shard=1:attempt=1", transport=transport,
+            )
+    assert report.shards_retried == 1
+    assert report.shards_failed == 0
+    assert _canonical(dblp_plan, report.backend) == reference
+
+
+def test_corrupt_frame_is_caught_and_retried(dblp_plan, document, reference):
+    """A flipped byte in a spill frame fails the CRC check; the shard is
+    re-streamed from scratch, never patched around."""
+    from repro.runtime.transport import SocketTransport
+    from repro.runtime.worker import ShardWorker
+
+    with ShardWorker() as worker:
+        with SocketTransport([worker.address]) as transport:
+            report = shard_execute(
+                dblp_plan, document, shards=3, workers=1, chunk_size=4,
+                faults="corrupt_frame:shard=0:attempt=1", transport=transport,
+            )
+    assert report.shards_retried == 1
+    assert _canonical(dblp_plan, report.backend) == reference
+
+
+def test_persistent_corruption_degrades_never_truncates(dblp_plan, document):
+    """Corruption on *every* attempt exhausts the retry budget and degrades
+    with a structured FrameError failure — silent truncation of the target
+    is impossible because no spill means no reduce."""
+    from repro.runtime.transport import SocketTransport
+    from repro.runtime.worker import ShardWorker
+
+    policy = RetryPolicy(max_attempts=2, base_delay=0.01)
+    with ShardWorker() as worker:
+        with SocketTransport([worker.address]) as transport:
+            with pytest.raises(ShardDegradedError) as excinfo:
+                shard_execute(
+                    dblp_plan, document, shards=3, workers=1, chunk_size=4,
+                    faults="corrupt_frame:shard=1", retry_policy=policy,
+                    transport=transport,
+                )
+    failure = excinfo.value.failures[0]
+    assert failure.shard == 1
+    assert failure.error_type == "FrameError"
+    assert failure.attempts == 2
+    assert failure.retryable  # transient class, but the budget ran out
+
+
+def test_stall_fault_delays_the_stream(dblp_plan, document, reference):
+    from repro.runtime.transport import SocketTransport
+    from repro.runtime.worker import ShardWorker
+
+    with ShardWorker() as worker:
+        with SocketTransport([worker.address]) as transport:
+            started = time.monotonic()
+            report = shard_execute(
+                dblp_plan, document, shards=2, workers=1, chunk_size=4,
+                faults="stall:shard=0:ms=400", transport=transport,
+            )
+            elapsed = time.monotonic() - started
+    assert elapsed >= 0.4
+    assert report.shards_failed == 0
+    assert _canonical(dblp_plan, report.backend) == reference
+
+
+def test_remote_kill_fault_takes_down_the_worker_daemon(dblp_plan, document):
+    """A `kill` rule inside a remote worker os._exits the daemon process —
+    remote workers ARE the worker process.  With no survivor the run
+    degrades as WorkerUnavailable."""
+    import os
+    import subprocess
+    import sys
+
+    import repro as _repro
+    from repro.runtime.transport import SocketTransport
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(_repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        address = line.split("worker listening on ", 1)[1].strip()
+        with SocketTransport([address]) as transport:
+            with pytest.raises(ShardDegradedError):
+                shard_execute(
+                    dblp_plan, document, shards=2, workers=1, chunk_size=4,
+                    faults="kill:shard=0", transport=transport,
+                )
+        assert proc.wait(timeout=10) != 0  # the daemon really died
+    finally:
+        proc.kill()

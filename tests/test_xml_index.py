@@ -1,0 +1,416 @@
+"""The XML byte-offset record index, source-count caching, and shard
+auto-tuning (PR 9).
+
+The counting pass over an XML source now builds a byte-offset index of
+record boundaries (`build_xml_record_index`), so a shard *seeks* to its
+record window instead of re-parsing the whole document.  These tests pin
+the contract: seeking must equal a full reparse on DBLP-style documents
+with comments, CDATA sections, and multi-byte UTF-8 straddling shard
+boundaries; documents the index cannot serve (namespaces) fall back with
+identical output; counts and indexes are cached by the file's
+identity+stat so resume/dry-run never re-scan an unchanged source; and
+`--shards auto` sizes the partition from records x cores x chunk size at
+pinned, deterministic points.
+"""
+
+import json
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.datasets import dblp
+from repro.hdt.xml_plugin import (
+    build_xml_record_index,
+    hdt_to_xml,
+)
+from repro.runtime import (
+    MemoryBackend,
+    MigrationPlan,
+    canonical_table_rows,
+    execute_plan,
+    shard_execute,
+)
+from repro.runtime.cli import main as cli_main
+from repro.runtime.sharded import (
+    _JSON_COUNT_CACHE,
+    _XML_INDEX_CACHE,
+    MIN_AUTO_SHARD_RECORDS,
+    JSONSource,
+    ShardError,
+    XMLSource,
+    auto_shard_count,
+    clear_source_caches,
+    resolve_shard_count,
+)
+from repro.runtime.streaming import (
+    count_xml_records,
+    iter_indexed_xml_chunks,
+    iter_xml_chunks,
+)
+
+TRICKY_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<!-- catalogue preamble -->
+<dblp version="7">
+  <!-- leading comment between records -->
+  <article><title>Tést 中文 ünïçode — δοκιμή</title><year>2001</year></article>
+  <book><title><![CDATA[CDATA <raw> &amp; bytes]]></title><pages>42</pages></book>
+  <article><author>名前 αβγ</author><note>multi–byte “quotes”</note></article>
+  <!-- trailing comment -->
+</dblp>
+"""
+
+
+@pytest.fixture
+def tricky_path(tmp_path):
+    path = tmp_path / "tricky.xml"
+    path.write_text(TRICKY_XML, encoding="utf-8")
+    return str(path)
+
+
+def _shape(node):
+    return (node.tag, node.pos, node.data, tuple(_shape(c) for c in node.children))
+
+
+def _records(chunks):
+    """Flatten a chunk stream into comparable (tag, pos, subtree) shapes."""
+    out = []
+    for chunk in chunks:
+        for record in chunk.tree.root.children:
+            out.append(_shape(record))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Index structure
+# --------------------------------------------------------------------------- #
+
+
+def test_index_structure_on_tricky_document(tricky_path):
+    index = build_xml_record_index(tricky_path)
+    assert index.root_tag == "dblp"
+    assert index.tags == ("article", "book", "article")
+    assert index.record_count == 3
+    assert index.seekable
+    assert index.encoding.lower() == "utf-8"
+    raw = open(tricky_path, "rb").read()
+    # Every offset lands on the ASCII '<' that opens its record element, so
+    # a byte splice can never split a multi-byte sequence.
+    for offset, tag in zip(index.offsets, index.tags):
+        assert raw[offset : offset + 1] == b"<"
+        assert raw[offset : offset + len(tag) + 1] == b"<" + tag.encode()
+    assert index.offsets == tuple(sorted(index.offsets))
+    # content_end points at the closing root tag, after the last record.
+    assert index.content_end > index.offsets[-1]
+    assert raw[index.content_end :].strip().startswith(b"</dblp>")
+
+
+def test_index_counts_match_streaming_counter(tricky_path):
+    assert build_xml_record_index(tricky_path).record_count == count_xml_records(
+        tricky_path
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Seek == full reparse
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("record_range", [(0, 3), (0, 1), (1, 2), (2, 3), (1, 3), (3, 3)])
+@pytest.mark.parametrize("chunk_size", [1, 2, 10])
+def test_seek_equals_full_reparse(tricky_path, record_range, chunk_size):
+    index = build_xml_record_index(tricky_path)
+    seeked = _records(
+        iter_indexed_xml_chunks(
+            tricky_path, index, chunk_size, record_range=record_range
+        )
+    )
+    reparsed = _records(
+        iter_xml_chunks(tricky_path, chunk_size, record_range=record_range)
+    )
+    assert seeked == reparsed
+
+
+def test_seek_equals_reparse_on_generated_dblp(tmp_path):
+    document = dblp.dataset(scale=10).generate(10)
+    path = str(tmp_path / "dblp.xml")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(hdt_to_xml(document))
+    index = build_xml_record_index(path)
+    total = index.record_count
+    assert total == count_xml_records(path)
+    for record_range in ((0, total), (0, total // 2), (total // 2, total), (1, total - 1)):
+        assert _records(
+            iter_indexed_xml_chunks(path, index, 3, record_range=record_range)
+        ) == _records(iter_xml_chunks(path, 3, record_range=record_range))
+
+
+def test_multibyte_straddles_every_shard_boundary(tmp_path):
+    """Records made almost entirely of multi-byte UTF-8: every per-record
+    window must splice on the ASCII '<' boundaries and decode cleanly."""
+    records = "".join(
+        f"<item><name>中文{i}éèαω</name></item>"
+        for i in range(9)
+    )
+    path = tmp_path / "mb.xml"
+    path.write_text(f"<root>{records}</root>", encoding="utf-8")
+    index = build_xml_record_index(str(path))
+    assert index.record_count == 9
+    for start in range(9):
+        window = (start, start + 1)
+        assert _records(
+            iter_indexed_xml_chunks(str(path), index, 1, record_range=window)
+        ) == _records(iter_xml_chunks(str(path), 1, record_range=window))
+
+
+def test_tag_positions_are_preserved_across_windows(tricky_path):
+    """A seeked window's records keep their whole-document per-tag positions
+    (the second `article` is article pos=1 even when read alone)."""
+    index = build_xml_record_index(tricky_path)
+    records = _records(
+        iter_indexed_xml_chunks(tricky_path, index, 1, record_range=(2, 3))
+    )
+    # Root attributes (version="7") ride along as attribute nodes, exactly
+    # as they do in a whole-document parse; the record itself comes last.
+    tag, pos, _data, _children = records[-1]
+    assert (tag, pos) == ("article", 1)
+
+
+# --------------------------------------------------------------------------- #
+# Fallbacks: namespaces, malformed documents
+# --------------------------------------------------------------------------- #
+
+
+def test_namespaced_document_is_not_seekable(tmp_path):
+    path = tmp_path / "ns.xml"
+    path.write_text(
+        '<root xmlns:x="http://example.com/ns">'
+        "<x:item><x:v>1</x:v></x:item><x:item><x:v>2</x:v></x:item></root>",
+        encoding="utf-8",
+    )
+    index = build_xml_record_index(str(path))
+    assert not index.seekable
+    with pytest.raises(ValueError, match="not seekable"):
+        list(iter_indexed_xml_chunks(str(path), index, 1))
+    # The source transparently falls back to the incremental reparse.
+    source = XMLSource(str(path))
+    assert source.count_records() == 2
+    assert _records(source.iter_chunks(0, 2, 1)) == _records(
+        iter_xml_chunks(str(path), 1, record_range=(0, 2))
+    )
+
+
+def test_malformed_xml_keeps_elementtree_error_surface(tmp_path):
+    path = tmp_path / "bad.xml"
+    path.write_text("<root><item>unclosed", encoding="utf-8")
+    with pytest.raises(Exception):
+        build_xml_record_index(str(path))
+    # XMLSource falls back, so callers still see ElementTree's ParseError,
+    # not an expat error from the indexing attempt.
+    source = XMLSource(str(path))
+    with pytest.raises(ET.ParseError):
+        source.count_records()
+
+
+# --------------------------------------------------------------------------- #
+# Source-count caching (fix: resume/dry-run re-scanned every time)
+# --------------------------------------------------------------------------- #
+
+
+def test_xml_index_cached_by_file_identity(tricky_path, monkeypatch):
+    clear_source_caches()
+    calls = []
+    real = build_xml_record_index
+
+    def counting(path):
+        calls.append(path)
+        return real(path)
+
+    monkeypatch.setattr("repro.runtime.sharded.build_xml_record_index", counting)
+    assert XMLSource(tricky_path).count_records() == 3
+    # A *fresh* source instance for the same unchanged file hits the cache.
+    assert XMLSource(tricky_path).count_records() == 3
+    assert len(calls) == 1
+    assert len(_XML_INDEX_CACHE) == 1
+    clear_source_caches()
+
+
+def test_xml_index_cache_invalidated_by_edit(tricky_path, monkeypatch):
+    clear_source_caches()
+    calls = []
+    real = build_xml_record_index
+
+    def counting(path):
+        calls.append(path)
+        return real(path)
+
+    monkeypatch.setattr("repro.runtime.sharded.build_xml_record_index", counting)
+    assert XMLSource(tricky_path).count_records() == 3
+    # Rewrite the file (content + size change): the stat key changes, so the
+    # stale index is never served for the edited document.
+    with open(tricky_path, "w", encoding="utf-8") as handle:
+        handle.write("<dblp><article><t>only one</t></article></dblp>")
+    assert XMLSource(tricky_path).count_records() == 1
+    assert len(calls) == 2
+    clear_source_caches()
+
+
+def test_json_count_cached_for_files_not_inline_content(tmp_path, monkeypatch):
+    clear_source_caches()
+    calls = []
+    from repro.runtime.streaming import count_json_records as real
+
+    def counting(source):
+        calls.append(source)
+        return real(source)
+
+    monkeypatch.setattr("repro.runtime.sharded.count_json_records", counting)
+    path = str(tmp_path / "doc.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"item": [1, 2, 3, 4]}, handle)
+    assert JSONSource(path).count_records() == 4
+    assert JSONSource(path).count_records() == 4
+    assert len(calls) == 1  # second fresh instance served from the cache
+    assert len(_JSON_COUNT_CACHE) == 1
+    # Inline JSON content is not a file: counted per instance, never cached.
+    inline = '{"item": [1, 2]}'
+    assert JSONSource(inline).count_records() == 2
+    assert JSONSource(inline).count_records() == 2
+    assert len(calls) == 3
+    assert len(_JSON_COUNT_CACHE) == 1
+    clear_source_caches()
+
+
+def test_sharded_run_reuses_the_counting_pass(tricky_path, monkeypatch):
+    """A dry-run followed by the real run (the `repro migrate --dry-run`
+    then `migrate` pattern) scans the source once, not twice."""
+    clear_source_caches()
+    calls = []
+    real = build_xml_record_index
+
+    def counting(path):
+        calls.append(path)
+        return real(path)
+
+    monkeypatch.setattr("repro.runtime.sharded.build_xml_record_index", counting)
+    plan_source = dblp.dataset(scale=3)
+    plan = MigrationPlan.learn(plan_source.migration_spec())
+    document = plan_source.generate(3)
+    path = tricky_path  # reuse the fixture file's path for a fresh DBLP doc
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(hdt_to_xml(document))
+    first = shard_execute(plan, path, shards=2, workers=1, chunk_size=4)
+    second = shard_execute(plan, path, shards=2, workers=1, chunk_size=4)
+    assert len(calls) == 1
+    whole = execute_plan(plan, document, MemoryBackend())
+    reference = canonical_table_rows(
+        plan.schema,
+        {t: whole.backend.fetch_rows(t) for t in plan.schema.table_names},
+    )
+    for report in (first, second):
+        assert canonical_table_rows(
+            plan.schema,
+            {t: report.backend.fetch_rows(t) for t in plan.schema.table_names},
+        ) == reference
+    clear_source_caches()
+
+
+# --------------------------------------------------------------------------- #
+# Shard auto-tuning
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "records, cores, chunk_size, expected",
+    [
+        (10000, 4, 1000, 4),     # core-bound: plenty of records per shard
+        (10000, 16, 1000, 5),    # record-bound: 10000 // 2000 = 5
+        (100000, 8, 1000, 8),    # large document saturates the cores
+        (1999, 8, 1000, 1),      # too small to fill two chunks anywhere
+        (4096, 8, 100, 8),       # small chunks: the 512-record floor rules
+        (4096, 8, 1000, 2),      # 4096 // 2000 = 2
+        (512, 2, 100, 1),        # exactly the floor: one shard
+        (1024, 2, 100, 2),
+    ],
+)
+def test_auto_shard_count_pinned_points(records, cores, chunk_size, expected):
+    assert auto_shard_count(records, cores=cores, chunk_size=chunk_size) == expected
+
+
+def test_auto_shard_count_degenerate_inputs():
+    assert auto_shard_count(0, cores=8) == 1
+    assert auto_shard_count(-5, cores=8) == 1
+    assert auto_shard_count(10**6, cores=1) == 1
+    assert auto_shard_count(10**6, cores=0) == 1
+    assert MIN_AUTO_SHARD_RECORDS == 512  # documented floor
+
+
+def test_resolve_shard_count():
+    assert resolve_shard_count(3, 10**6) == 3
+    assert resolve_shard_count("auto", 10000, chunk_size=1000, cores=4) == 4
+    assert resolve_shard_count("  AUTO ", 10000, chunk_size=1000, cores=4) == 4
+    with pytest.raises(ShardError, match='integer or "auto"'):
+        resolve_shard_count("many", 100)
+
+
+def test_shards_auto_end_to_end():
+    plan = MigrationPlan.learn(dblp.dataset(scale=4).migration_spec())
+    document = dblp.dataset(scale=4).generate(4)
+    whole = execute_plan(plan, document, MemoryBackend())
+    reference = canonical_table_rows(
+        plan.schema, {t: whole.backend.fetch_rows(t) for t in plan.schema.table_names}
+    )
+    report = shard_execute(plan, document, shards="auto", workers=1)
+    # A small demo document auto-tunes to a single shard on any machine.
+    assert report.shards == 1
+    assert canonical_table_rows(
+        plan.schema, {t: report.backend.fetch_rows(t) for t in plan.schema.table_names}
+    ) == reference
+
+
+# --------------------------------------------------------------------------- #
+# CLI: --shards auto
+# --------------------------------------------------------------------------- #
+
+
+def _demo_spec(tmp_path, **extra):
+    payload = {"dataset": "dblp", "scale": 4, "cache_dir": str(tmp_path / "cache")}
+    payload.update(extra)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_cli_shards_auto(tmp_path, capsys):
+    spec = _demo_spec(tmp_path)
+    report_path = tmp_path / "report.json"
+    assert (
+        cli_main(
+            ["migrate", "--spec", spec, "--shards", "auto",
+             "--report-json", str(report_path)]
+        )
+        == 0
+    )
+    assert "loaded" in capsys.readouterr().out
+    report = json.loads(report_path.read_text())
+    # The demo document is far below the 2-chunks-per-shard floor, so auto
+    # resolves to a single shard on any machine — through the sharded path.
+    assert report["shards"] == 1
+    assert report["transport"] == "local"
+
+
+def test_cli_spec_shards_auto_key(tmp_path, capsys):
+    spec = _demo_spec(tmp_path, shards="auto")
+    report_path = tmp_path / "report.json"
+    assert (
+        cli_main(["migrate", "--spec", spec, "--report-json", str(report_path)]) == 0
+    )
+    assert json.loads(report_path.read_text())["shards"] == 1
+    capsys.readouterr()
+
+
+def test_cli_rejects_malformed_shards_value(tmp_path, capsys):
+    spec = _demo_spec(tmp_path)
+    with pytest.raises(SystemExit):
+        cli_main(["migrate", "--spec", spec, "--shards", "2x"])
+    assert 'expected an integer or "auto"' in capsys.readouterr().err

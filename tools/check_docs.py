@@ -41,6 +41,7 @@ HELP_SNAPSHOTS = {
     "repro-migrate.txt": ["migrate", "--help"],
     "repro-verify.txt": ["verify", "--help"],
     "repro-serve.txt": ["serve", "--help"],
+    "repro-worker.txt": ["worker", "--help"],
 }
 
 #: Section anchors that must exist on a page, link or no link.  Keys are
@@ -66,6 +67,15 @@ REQUIRED_ANCHORS = {
         "timeout-semantics",
         "fault-injection-spec-grammar",
         "degradation-contract",
+    ],
+    "docs/distributed.md": [
+        "wire-protocol",
+        "handshake-and-fingerprint-rules",
+        "retry-and-redispatch",
+        "shard-count-auto-tuning",
+        "the-xml-byte-offset-record-index",
+        "fault-injection",
+        "security-model",
     ],
 }
 
