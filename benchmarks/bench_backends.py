@@ -1,0 +1,347 @@
+"""Benchmark E10: the backend grid and the streamed-batch memory profile.
+
+Runs the full, unrestricted 9-table DBLP plan through every registered
+backend — memory, sqlite, columnar (streamed *and* materialize-at-finalize)
+and duckdb when installed — and writes a machine-readable record to
+``BENCH_PR10.json`` at the repository root.  Every cell's output is verified
+**canonically identical** (``canonical_table_rows``) to a whole-tree memory
+reference before timing, so the record can never report a fast-but-wrong
+run.
+
+The record's ``streamed_batches`` section is the PR-10 claim in numbers:
+``spill=True`` (stream each sealed batch to its file writer) vs
+``spill=False`` (materialize all batches, write at finalize) over the same
+rows must produce **byte-identical files**, while the streamed run's
+peak traced allocation across the backend load path (tracemalloc — the
+deterministic per-run proxy for peak RSS; ``ru_maxrss`` is recorded once
+for the whole process) drops.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py           # full record
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke   # CI guard
+
+``--smoke`` is the ``analytics-smoke`` CI guard: byte-identical
+spill-vs-materialize output with reduced peak memory, plus — when duckdb is
+installed — the SQL parity battery (COUNT / COUNT DISTINCT / FK dangle)
+over a DuckDB target against the memory ground truth.
+"""
+
+import argparse
+import gc
+import json
+import os
+import resource
+import sys
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import dblp  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    MemoryBackend,
+    MigrationPlan,
+    SQLiteBackend,
+    canonical_table_rows,
+    execute_plan,
+)
+from repro.runtime.backends import (  # noqa: E402
+    HAVE_DUCKDB,
+    ColumnarBackend,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_PR10.json")
+
+#: Small enough that the streamed path actually seals many batches per table
+#: at benchmark scales (the default 8192 would hold whole small tables in
+#: one open batch and hide the memory difference).
+BATCH_SIZE = 512
+
+SMOKE_SCALE = 200
+SMOKE_LIMIT_SECONDS = 120.0
+
+
+def _canonical(plan, backend):
+    return canonical_table_rows(
+        plan.schema, {t: backend.fetch_rows(t) for t in plan.schema.table_names}
+    )
+
+
+def _fresh_path(path):
+    """Remove a file target from a previous timing round, if present."""
+    if os.path.exists(path):
+        os.remove(path)
+    return path
+
+
+def _directory_bytes(directory):
+    return {
+        name: open(os.path.join(directory, name), "rb").read()
+        for name in sorted(os.listdir(directory))
+    }
+
+
+def _measure(label, make_backend, plan, document, reference, rounds=2):
+    """Best-of-N wall clock; every round's output is checked before timing."""
+    elapsed = None
+    for _ in range(max(1, rounds)):
+        backend = make_backend()
+        start = time.perf_counter()
+        report = execute_plan(plan, document, backend)
+        duration = time.perf_counter() - start
+        if _canonical(plan, backend) != reference:
+            raise SystemExit(f"PARITY FAIL: {label} diverged from whole-tree output")
+        backend.close()
+        elapsed = duration if elapsed is None else min(elapsed, duration)
+    result = {
+        "rows": report.total_rows,
+        "seconds": round(elapsed, 4),
+        "rows_per_sec": round(report.total_rows / max(elapsed, 1e-9)),
+    }
+    print(
+        f"  {label:28s} {result['rows']:>8d} rows  {result['seconds']:>8.2f}s  "
+        f"{result['rows_per_sec']:>8d} rows/s"
+    )
+    return result
+
+
+def _measure_peak(make_backend, plan, rows_by_table):
+    """Peak traced allocation of the backend load path alone.
+
+    The rows are pre-materialized *outside* the trace so tracemalloc sees
+    only what the backend allocates between ``begin`` and ``finalize`` —
+    the synthesis pipeline (column scans, merger hash indexes) is identical
+    in both spill modes and would otherwise drown the batch buffers.
+    """
+    gc.collect()
+    tracemalloc.start()
+    backend = make_backend()
+    backend.begin(plan.schema)
+    for table_schema in plan.execution_order():
+        backend.insert_rows(table_schema.name, iter(rows_by_table[table_schema.name]))
+    backend.finalize()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    backend.close()
+    return peak
+
+
+def _streamed_batches_profile(plan, rows_by_table, workdir):
+    """spill=True vs spill=False: byte-identical files, lower peak memory."""
+    spill_dir = os.path.join(workdir, "columnar-spill")
+    mat_dir = os.path.join(workdir, "columnar-materialize")
+    spill_peak = _measure_peak(
+        lambda: ColumnarBackend(spill_dir, batch_size=BATCH_SIZE, spill=True),
+        plan,
+        rows_by_table,
+    )
+    mat_peak = _measure_peak(
+        lambda: ColumnarBackend(mat_dir, batch_size=BATCH_SIZE, spill=False),
+        plan,
+        rows_by_table,
+    )
+    identical = _directory_bytes(spill_dir) == _directory_bytes(mat_dir)
+    profile = {
+        "batch_size": BATCH_SIZE,
+        "materialize_peak_traced_bytes": mat_peak,
+        "spill_peak_traced_bytes": spill_peak,
+        "peak_reduction": round(1.0 - spill_peak / max(mat_peak, 1), 3),
+        "byte_identical_files": identical,
+    }
+    print(
+        f"  streamed batches: peak {mat_peak / 1e6:.1f}MB -> {spill_peak / 1e6:.1f}MB "
+        f"({profile['peak_reduction']:.0%} lower), "
+        f"files byte-identical: {identical}"
+    )
+    return profile
+
+
+def _duckdb_oracle(plan, document, memory_backend, path):
+    """Load a DuckDB target and run the SQL parity battery against memory."""
+    from repro.runtime.backends import DuckDBBackend
+
+    backend = DuckDBBackend(path)
+    execute_plan(plan, document, backend)
+    failures = []
+    for table in plan.schema.tables:
+        rows = memory_backend.fetch_rows(table.name)
+        count = backend.connection.execute(
+            f'SELECT COUNT(*) FROM "{table.name}"'
+        ).fetchone()[0]
+        if count != len(rows):
+            failures.append(f"{table.name}: COUNT(*) {count} != {len(rows)}")
+        if table.primary_key is not None:
+            pk = table.column_names.index(table.primary_key)
+            distinct = backend.connection.execute(
+                f'SELECT COUNT(DISTINCT "{table.primary_key}") FROM "{table.name}"'
+            ).fetchone()[0]
+            truth = len({r[pk] for r in rows if r[pk] is not None})
+            if distinct != truth:
+                failures.append(
+                    f"{table.name}: COUNT(DISTINCT pk) {distinct} != {truth}"
+                )
+        for fk in table.foreign_keys:
+            dangling = backend.connection.execute(
+                f'SELECT COUNT(*) FROM "{table.name}" c '
+                f'LEFT JOIN "{fk.target_table}" p '
+                f'ON c."{fk.column}" = p."{fk.target_column}" '
+                f'WHERE c."{fk.column}" IS NOT NULL '
+                f'AND p."{fk.target_column}" IS NULL'
+            ).fetchone()[0]
+            if dangling:
+                failures.append(
+                    f"{table.name}.{fk.column}: {dangling} dangling FK value(s)"
+                )
+    backend.close()
+    return failures
+
+
+def _run_scale(plan, scale, workdir):
+    document = dblp.dataset(scale=scale).generate(scale)
+    records = len(document.root.children)
+    print(f"scale {scale} ({records} records):")
+    whole = execute_plan(plan, document, MemoryBackend())
+    reference = _canonical(plan, whole.backend)
+    scale_dir = os.path.join(workdir, f"scale-{scale}")
+    os.makedirs(scale_dir, exist_ok=True)
+    grid = {
+        "memory": _measure("memory", MemoryBackend, plan, document, reference),
+        "sqlite": _measure(
+            "sqlite",
+            lambda: SQLiteBackend(_fresh_path(os.path.join(scale_dir, "out.db"))),
+            plan,
+            document,
+            reference,
+        ),
+        "columnar": _measure(
+            "columnar (streamed)",
+            lambda: ColumnarBackend(
+                os.path.join(scale_dir, "columnar"), batch_size=BATCH_SIZE
+            ),
+            plan,
+            document,
+            reference,
+        ),
+    }
+    if HAVE_DUCKDB:
+        from repro.runtime.backends import DuckDBBackend
+
+        grid["duckdb"] = _measure(
+            "duckdb",
+            lambda: DuckDBBackend(_fresh_path(os.path.join(scale_dir, "out.duckdb"))),
+            plan,
+            document,
+            reference,
+        )
+    else:
+        grid["duckdb"] = {"skipped": "duckdb not installed"}
+        print("  duckdb                       skipped (not installed)")
+    rows_by_table = {t: whole.backend.fetch_rows(t) for t in plan.schema.table_names}
+    return {
+        "records": records,
+        "grid": grid,
+        "streamed_batches": _streamed_batches_profile(plan, rows_by_table, scale_dir),
+    }
+
+
+def _smoke(plan, workdir):
+    start = time.perf_counter()
+    document = dblp.dataset(scale=SMOKE_SCALE).generate(SMOKE_SCALE)
+    whole = execute_plan(plan, document, MemoryBackend())
+    rows_by_table = {t: whole.backend.fetch_rows(t) for t in plan.schema.table_names}
+    profile = _streamed_batches_profile(plan, rows_by_table, workdir)
+    if not profile["byte_identical_files"]:
+        print("SMOKE FAIL: spill=True and spill=False produced different files")
+        return 1
+    if profile["spill_peak_traced_bytes"] >= profile["materialize_peak_traced_bytes"]:
+        print(
+            "SMOKE FAIL: streamed execution did not reduce peak memory "
+            f"({profile['spill_peak_traced_bytes']} >= "
+            f"{profile['materialize_peak_traced_bytes']})"
+        )
+        return 1
+    if HAVE_DUCKDB:
+        failures = _duckdb_oracle(
+            plan, document, whole.backend, os.path.join(workdir, "smoke.duckdb")
+        )
+        if failures:
+            print("SMOKE FAIL: DuckDB SQL parity oracle diverged:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("  duckdb SQL parity oracle: ok")
+    else:
+        print("  duckdb SQL parity oracle: skipped (not installed)")
+    elapsed = time.perf_counter() - start
+    if elapsed >= SMOKE_LIMIT_SECONDS:
+        print(
+            f"SMOKE FAIL: analytics smoke took {elapsed:.1f}s "
+            f"(limit {SMOKE_LIMIT_SECONDS:.0f}s)"
+        )
+        return 1
+    print(
+        f"smoke ok: streamed batches byte-identical with "
+        f"{profile['peak_reduction']:.0%} lower peak memory at scale "
+        f"{SMOKE_SCALE}, {elapsed:.1f}s < {SMOKE_LIMIT_SECONDS:.0f}s"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI guard: byte-identical streamed output with lower peak memory "
+        "(+ DuckDB SQL parity when installed)",
+    )
+    parser.add_argument("--scales", type=int, nargs="*", default=[500, 2000])
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    print("learning the DBLP plan (synthesis, once)...")
+    start = time.perf_counter()
+    plan = MigrationPlan.learn(dblp.dataset(scale=3).migration_spec())
+    print(
+        f"  learned in {time.perf_counter() - start:.1f}s "
+        f"({len(plan.schema.tables)} tables)"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench-backends-") as workdir:
+        if args.smoke:
+            return _smoke(plan, workdir)
+
+        payload = {
+            "benchmark": "backends",
+            "pr": 10,
+            "dataset": "DBLP",
+            "plan": "full (9 tables, author link tables included)",
+            "batch_size": BATCH_SIZE,
+            "cpu_count": os.cpu_count(),
+            "duckdb_installed": HAVE_DUCKDB,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "parity": "every cell verified canonically identical to whole-tree "
+            "execution before timing",
+            "results": {},
+        }
+        for scale in args.scales:
+            payload["results"][str(scale)] = _run_scale(plan, scale, workdir)
+
+    payload["ru_maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    with open(RECORD_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    largest = payload["results"][str(args.scales[-1])]["streamed_batches"]
+    print(
+        f"wrote {RECORD_PATH} (streamed batches: "
+        f"{largest['peak_reduction']:.0%} lower peak, byte-identical: "
+        f"{largest['byte_identical_files']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

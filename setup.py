@@ -24,6 +24,9 @@ setup(
         # backend falls back to a pure-python JSON-columns format (the import
         # is guarded — see src/repro/runtime/backends/columnar.py).
         "columnar": ["pyarrow"],
+        # The DuckDB analytics backend (--backend duckdb); the import is
+        # guarded the same way — see src/repro/runtime/backends/duckdb.py.
+        "duckdb": ["duckdb"],
     },
     entry_points={
         "console_scripts": [

@@ -4,9 +4,13 @@ from .common import count_program_loc
 from .js_gen import generate_javascript
 from .python_gen import compile_loaders, compile_program, generate_python
 from .sql_gen import (
+    create_index_statement,
+    create_index_statements,
     create_schema_statements,
     create_table_statement,
+    expected_index_names,
     generate_sql_dump,
+    index_name,
     insert_statements,
 )
 from .xslt_gen import column_to_xpath, generate_xslt
@@ -17,9 +21,13 @@ __all__ = [
     "compile_loaders",
     "compile_program",
     "generate_python",
+    "create_index_statement",
+    "create_index_statements",
     "create_schema_statements",
     "create_table_statement",
+    "expected_index_names",
     "generate_sql_dump",
+    "index_name",
     "insert_statements",
     "column_to_xpath",
     "generate_xslt",

@@ -5,18 +5,40 @@ module renders a :class:`~repro.relational.schema.DatabaseSchema` as
 ``CREATE TABLE`` statements (with primary- and foreign-key clauses) and a
 populated :class:`~repro.relational.database.Database` as ``INSERT``
 statements, so that the migrated data can be loaded into any SQL engine.
+
+Beyond bare correctness, dumps are meant to be *servable*: every foreign-key
+column gets a secondary index (``CREATE INDEX``), because the FK columns are
+exactly the join columns a serving workload hits.  The SQLite and DuckDB
+backends apply the same statements post-load.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List
 
 from ..hdt.node import Scalar
 from ..relational.database import Database
-from ..relational.schema import ColumnDef, DatabaseSchema, TableSchema
+from ..relational.schema import DatabaseSchema, TableSchema
 from ..relational.table import Table
 
 _SQL_TYPES = {"text": "TEXT", "integer": "INTEGER", "real": "REAL"}
+
+# Per-dialect type maps.  DuckDB's INTEGER is 32-bit and REAL is float4, so
+# the duckdb dialect widens both to preserve python int/float values exactly.
+SQL_DIALECT_TYPES: Dict[str, Dict[str, str]] = {
+    "sqlite": _SQL_TYPES,
+    "duckdb": {"text": "TEXT", "integer": "BIGINT", "real": "DOUBLE"},
+}
+
+
+def _dialect_types(dialect: str) -> Dict[str, str]:
+    try:
+        return SQL_DIALECT_TYPES[dialect]
+    except KeyError:
+        raise ValueError(
+            f"unknown SQL dialect {dialect!r}; expected one of "
+            f"{tuple(sorted(SQL_DIALECT_TYPES))}"
+        ) from None
 
 
 def quote_identifier(name: str) -> str:
@@ -35,11 +57,12 @@ def render_value(value: Scalar) -> str:
     return "'" + str(value).replace("'", "''") + "'"
 
 
-def create_table_statement(table: TableSchema) -> str:
+def create_table_statement(table: TableSchema, *, dialect: str = "sqlite") -> str:
     """Render one CREATE TABLE statement with key constraints."""
+    types = _dialect_types(dialect)
     lines: List[str] = []
     for column in table.columns:
-        parts = [f"  {quote_identifier(column.name)} {_SQL_TYPES[column.dtype]}"]
+        parts = [f"  {quote_identifier(column.name)} {types[column.dtype]}"]
         if not column.nullable:
             parts.append("NOT NULL")
         lines.append(" ".join(parts))
@@ -54,9 +77,51 @@ def create_table_statement(table: TableSchema) -> str:
     return f"CREATE TABLE {quote_identifier(table.name)} (\n{body}\n);"
 
 
-def create_schema_statements(schema: DatabaseSchema) -> List[str]:
+def create_schema_statements(
+    schema: DatabaseSchema, *, dialect: str = "sqlite"
+) -> List[str]:
     """CREATE TABLE statements in dependency order."""
-    return [create_table_statement(table) for table in schema.topological_order()]
+    return [
+        create_table_statement(table, dialect=dialect)
+        for table in schema.topological_order()
+    ]
+
+
+def index_name(table: str, column: str) -> str:
+    """The canonical name of the secondary index on ``table.column``."""
+    return f"idx_{table}_{column}"
+
+
+def create_index_statement(table: str, column: str) -> str:
+    """One CREATE INDEX statement for a foreign-key column."""
+    return (
+        f"CREATE INDEX {quote_identifier(index_name(table, column))} "
+        f"ON {quote_identifier(table)} ({quote_identifier(column)});"
+    )
+
+
+def create_index_statements(schema: DatabaseSchema) -> List[str]:
+    """CREATE INDEX statements for every foreign-key column in the schema.
+
+    FK columns are the join columns of the migrated database — the serving
+    path's hot lookups — so each gets a secondary index, in the same
+    dependency order as the tables themselves.
+    """
+    statements: List[str] = []
+    for table in schema.topological_order():
+        for fk in table.foreign_keys:
+            statements.append(create_index_statement(table.name, fk.column))
+    return statements
+
+
+def expected_index_names(schema: DatabaseSchema) -> Dict[str, List[str]]:
+    """Per-table index names a fully-loaded target should carry."""
+    expected: Dict[str, List[str]] = {}
+    for table in schema.topological_order():
+        names = [index_name(table.name, fk.column) for fk in table.foreign_keys]
+        if names:
+            expected[table.name] = names
+    return expected
 
 
 def insert_statements(table: Table, *, batch_size: int = 500) -> List[str]:
@@ -76,11 +141,13 @@ def insert_statements(table: Table, *, batch_size: int = 500) -> List[str]:
     return statements
 
 
-def generate_sql_dump(database: Database) -> str:
-    """A full SQL dump (DDL + DML) of a migrated database."""
+def generate_sql_dump(database: Database, *, dialect: str = "sqlite") -> str:
+    """A full SQL dump (DDL + DML + secondary indexes) of a migrated database."""
     parts: List[str] = ["BEGIN TRANSACTION;"]
-    parts.extend(create_schema_statements(database.schema))
+    parts.extend(create_schema_statements(database.schema, dialect=dialect))
     for table_schema in database.schema.topological_order():
         parts.extend(insert_statements(database.table(table_schema.name)))
+    # Indexes go after the DML: bulk-load into bare tables, index once.
+    parts.extend(create_index_statements(database.schema))
     parts.append("COMMIT;")
     return "\n\n".join(parts) + "\n"

@@ -68,6 +68,8 @@ Example — learn once, run many, then evolve the schema incrementally:
 from .backends import (
     ColumnarBackend,
     ColumnarBackendError,
+    DuckDBBackend,
+    DuckDBBackendError,
     ExecutionBackend,
     MemoryBackend,
     SQLiteBackend,
@@ -143,6 +145,8 @@ __all__ = [
     "MemoryBackend",
     "ColumnarBackend",
     "ColumnarBackendError",
+    "DuckDBBackend",
+    "DuckDBBackendError",
     "available_backends",
     "create_backend",
     "NullBackend",

@@ -2,14 +2,20 @@
 
 Every execution mode (whole-tree, streamed, sharded) lands rows through the
 :class:`~repro.runtime.backends.base.ExecutionBackend` protocol; this package
-holds the protocol and the three shipped implementations, plus a small
+holds the protocol and the four shipped implementations, plus a small
 registry so callers (notably the CLI) can construct backends by name:
 
 >>> from repro.runtime.backends import available_backends, create_backend
 >>> available_backends()
-('memory', 'sqlite', 'columnar')
+('memory', 'sqlite', 'columnar', 'duckdb')
 >>> create_backend("memory").__class__.__name__
 'MemoryBackend'
+
+``duckdb`` is always *registered* (so ``--backend duckdb`` is a recognized
+name everywhere), but constructing it without the optional ``duckdb``
+package raises :class:`~repro.runtime.backends.duckdb.DuckDBBackendError`
+pointing at the ``repro[duckdb]`` extra — the same guarded-import pattern
+the columnar backend uses for pyarrow.
 
 The protocol, ordering guarantees and backend trade-offs are documented in
 ``docs/backends.md``.
@@ -27,6 +33,7 @@ from .columnar import (
     ColumnBatch,
     load_table_rows,
 )
+from .duckdb import HAVE_DUCKDB, DuckDBBackend, DuckDBBackendError
 from .memory import MemoryBackend
 from .null import NullBackend
 from .sqlite import (
@@ -37,11 +44,11 @@ from .sqlite import (
 )
 
 #: Backend names accepted by :func:`create_backend` (and ``repro run --backend``).
-BACKEND_NAMES: Tuple[str, ...] = ("memory", "sqlite", "columnar")
+BACKEND_NAMES: Tuple[str, ...] = ("memory", "sqlite", "columnar", "duckdb")
 
-#: Which named backends write to ``output`` — a file for sqlite, a directory
-#: for columnar.  The memory backend rejects an output path.
-OUTPUT_KIND = {"memory": None, "sqlite": "file", "columnar": "directory"}
+#: Which named backends write to ``output`` — a file for sqlite/duckdb, a
+#: directory for columnar.  The memory backend rejects an output path.
+OUTPUT_KIND = {"memory": None, "sqlite": "file", "columnar": "directory", "duckdb": "file"}
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -52,10 +59,11 @@ def available_backends() -> Tuple[str, ...]:
 def create_backend(name: str, output: Optional[str] = None, **options) -> ExecutionBackend:
     """Construct a backend by registry name.
 
-    ``output`` is the sqlite database path or the columnar output directory;
-    it must be ``None`` for the memory backend (which produces no artifact)
-    and is required for sqlite.  Extra keyword ``options`` pass through to
-    the backend constructor (``batch_size``, ``file_format``, ...).
+    ``output`` is the sqlite/duckdb database path or the columnar output
+    directory; it must be ``None`` for the memory backend (which produces no
+    artifact) and is required for sqlite and duckdb.  Extra keyword
+    ``options`` pass through to the backend constructor (``batch_size``,
+    ``file_format``, ``spill``, ``dictionary``, ``apply_indexes``, ...).
     """
     if name not in BACKEND_NAMES:
         raise ValueError(
@@ -69,6 +77,10 @@ def create_backend(name: str, output: Optional[str] = None, **options) -> Execut
         if output is None:
             raise ValueError("the sqlite backend needs an output path")
         return SQLiteBackend(output, **options)
+    if name == "duckdb":
+        if output is None:
+            raise ValueError("the duckdb backend needs an output path")
+        return DuckDBBackend(output, **options)
     return ColumnarBackend(output, **options)
 
 
@@ -86,6 +98,9 @@ __all__ = [
     "ColumnBatch",
     "HAVE_PYARROW",
     "load_table_rows",
+    "DuckDBBackend",
+    "DuckDBBackendError",
+    "HAVE_DUCKDB",
     "BACKEND_NAMES",
     "OUTPUT_KIND",
     "available_backends",

@@ -7,7 +7,7 @@ MigrationPlan`) from *where the rows go*.  Every execution path — whole-tree
 (:func:`~repro.runtime.sharded.shard_execute`) — drives its output through
 this protocol, so a backend written once works under all three modes.
 
-Three backends ship with the reproduction (see
+Four backends ship with the reproduction (see
 :func:`~repro.runtime.backends.create_backend`):
 
 * :class:`~repro.runtime.backends.memory.MemoryBackend` — the in-memory
@@ -15,8 +15,11 @@ Three backends ship with the reproduction (see
 * :class:`~repro.runtime.backends.sqlite.SQLiteBackend` — a real SQLite
   file with native deferred key enforcement;
 * :class:`~repro.runtime.backends.columnar.ColumnarBackend` — column-major
-  batches, written as Arrow IPC / Parquet when ``pyarrow`` is available and
-  as a pure-python JSON-columns format otherwise.
+  batches, streamed as Arrow IPC / Parquet when ``pyarrow`` is available and
+  as a pure-python JSON-columns format otherwise;
+* :class:`~repro.runtime.backends.duckdb.DuckDBBackend` — the analytics
+  tier: a DuckDB database file, immediately queryable (optional ``duckdb``
+  dependency).
 
 The full contract (lifecycle, ordering guarantees, failure semantics) is
 documented in ``docs/backends.md``.

@@ -1,0 +1,299 @@
+"""DuckDB execution backend: migrate straight into an analytics database.
+
+Where the SQLite backend is the durable OLTP-ish default, this backend is
+the *analytics tier*: the migrated database lands in a single DuckDB file
+that columnar/OLAP consumers can query immediately, and that doubles as an
+independent SQL-side parity oracle for the migration itself (run the same
+aggregate in DuckDB and against the memory backend; the answers must
+match).
+
+``duckdb`` is an optional dependency, guarded exactly like ``pyarrow`` in
+:mod:`.columnar`: the backend is always *registered* (so ``--backend
+duckdb`` is always a recognized name), but constructing it without the
+library raises a :class:`DuckDBBackendError` explaining the
+``pip install repro[duckdb]`` extra.
+
+Design notes:
+
+* DDL comes from :func:`repro.codegen.sql_gen.create_schema_statements`
+  with ``dialect="duckdb"`` — DuckDB's ``INTEGER`` is 32-bit and ``REAL``
+  is float4, so the dialect widens them to ``BIGINT``/``DOUBLE`` to keep
+  python ints and floats exact.
+* Rows load through batched ``executemany`` inside one transaction; the
+  secondary FK indexes (:func:`~repro.codegen.sql_gen.create_index_statements`)
+  are built at :meth:`finalize`, after the bulk load commits.
+* With ``pyarrow`` installed, sealed Arrow record batches ingest
+  zero-copy: :meth:`insert_arrow` registers the Arrow object with DuckDB
+  and issues a single ``INSERT INTO ... SELECT``, never converting through
+  python tuples.
+* The module-level :func:`read_table_rows` / :func:`read_index_names`
+  hooks mirror the SQLite ones: read-only connections, missing tables
+  omitted (the verifier reports them), anything else raised as
+  :class:`DuckDBBackendError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ...codegen.sql_gen import (
+    create_index_statements,
+    create_schema_statements,
+    quote_identifier,
+)
+from ...relational.schema import DatabaseSchema
+from ..faults import fire_backend_insert
+from .base import ExecutionBackend, Row
+
+try:  # pragma: no cover - exercised only when duckdb is installed
+    import duckdb as _duckdb
+
+    HAVE_DUCKDB = True
+except ImportError:  # pragma: no cover - the tier-1 environment
+    _duckdb = None
+    HAVE_DUCKDB = False
+
+try:
+    import pyarrow as _pa  # noqa: F401
+
+    _HAVE_PYARROW = True
+except ImportError:
+    _pa = None
+    _HAVE_PYARROW = False
+
+
+class DuckDBBackendError(Exception):
+    """Raised when loading into DuckDB fails or the dependency is absent."""
+
+
+def _require_duckdb() -> None:
+    if not HAVE_DUCKDB:
+        raise DuckDBBackendError(
+            "the duckdb backend needs the 'duckdb' package "
+            "(pip install repro[duckdb])"
+        )
+
+
+class DuckDBBackend(ExecutionBackend):
+    """Execute a migration plan directly into a DuckDB database file.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the database file, or ``":memory:"`` (the
+        default) for a transient in-memory database.
+    batch_size:
+        Number of rows per ``executemany`` call.
+    apply_indexes:
+        When true (default), :meth:`finalize` builds the secondary indexes
+        on foreign-key columns after the bulk load commits.
+    """
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        batch_size: int = 4096,
+        apply_indexes: bool = True,
+    ) -> None:
+        _require_duckdb()
+        self.path = path
+        self.batch_size = max(1, batch_size)
+        self.apply_indexes = apply_indexes
+        self.connection = None
+        self._insert_sql: Dict[str, str] = {}
+        self._schema: Optional[DatabaseSchema] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def begin(self, schema: DatabaseSchema) -> None:
+        self._schema = schema
+        try:
+            self.connection = _duckdb.connect(self.path)
+        except Exception as error:
+            raise DuckDBBackendError(
+                f"cannot open duckdb database {self.path!r}: {error}"
+            ) from error
+        try:
+            for statement in create_schema_statements(schema, dialect="duckdb"):
+                self.connection.execute(statement)
+            self.connection.execute("BEGIN TRANSACTION")
+        except Exception as error:
+            raise DuckDBBackendError(f"failed to create schema: {error}") from error
+        for table in schema.tables:
+            placeholders = ", ".join("?" for _ in table.columns)
+            columns = ", ".join(quote_identifier(c) for c in table.column_names)
+            self._insert_sql[table.name] = (
+                f"INSERT INTO {quote_identifier(table.name)} ({columns}) "
+                f"VALUES ({placeholders})"
+            )
+
+    def insert_rows(self, table: str, rows: Iterable[Row]) -> int:
+        if self.connection is None:
+            raise DuckDBBackendError("begin() was not called")
+        sql = self._insert_sql.get(table)
+        if sql is None:
+            raise DuckDBBackendError(f"unknown table {table!r}")
+        inserted = 0
+        batch: List[Row] = []
+        try:
+            for row in rows:
+                batch.append(tuple(row))
+                if len(batch) >= self.batch_size:
+                    fire_backend_insert(1)
+                    self.connection.executemany(sql, batch)
+                    inserted += len(batch)
+                    batch.clear()
+            if batch:
+                fire_backend_insert(1)
+                self.connection.executemany(sql, batch)
+                inserted += len(batch)
+        except DuckDBBackendError:
+            raise
+        except Exception as error:
+            raise DuckDBBackendError(f"insert into {table!r} failed: {error}") from error
+        return inserted
+
+    def insert_arrow(self, table: str, arrow_table) -> int:
+        """Ingest a pyarrow Table/RecordBatch zero-copy via DuckDB's Arrow scan.
+
+        The Arrow object is registered with the connection and inserted with
+        one ``INSERT INTO ... SELECT`` — DuckDB reads the Arrow buffers
+        directly, so no python-tuple round trip happens.  Requires pyarrow.
+        """
+        if self.connection is None:
+            raise DuckDBBackendError("begin() was not called")
+        if not _HAVE_PYARROW:
+            raise DuckDBBackendError(
+                "insert_arrow needs the 'pyarrow' package (pip install repro[columnar])"
+            )
+        if table not in self._insert_sql:
+            raise DuckDBBackendError(f"unknown table {table!r}")
+        if isinstance(arrow_table, _pa.RecordBatch):
+            arrow_table = _pa.Table.from_batches([arrow_table])
+        view = f"_repro_arrow_{table}"
+        try:
+            self.connection.register(view, arrow_table)
+            self.connection.execute(
+                f"INSERT INTO {quote_identifier(table)} "
+                f"SELECT * FROM {quote_identifier(view)}"
+            )
+            self.connection.unregister(view)
+        except Exception as error:
+            raise DuckDBBackendError(
+                f"arrow insert into {table!r} failed: {error}"
+            ) from error
+        return int(arrow_table.num_rows)
+
+    def finalize(self) -> None:
+        if self.connection is None:
+            raise DuckDBBackendError("begin() was not called")
+        try:
+            self.connection.execute("COMMIT")
+        except Exception as error:
+            raise DuckDBBackendError(f"commit failed: {error}") from error
+        if self.apply_indexes and self._schema is not None:
+            try:
+                for statement in create_index_statements(self._schema):
+                    self.connection.execute(statement)
+            except Exception as error:
+                raise DuckDBBackendError(
+                    f"failed to build secondary indexes: {error}"
+                ) from error
+
+    def close(self) -> None:
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+
+    # -------------------------------------------------------------- queries
+    def fetch_rows(self, table: str) -> List[Row]:
+        """All rows of a table in insertion (rowid) order."""
+        if self.connection is None or self._schema is None:
+            raise DuckDBBackendError("begin() was not called")
+        table_schema = self._schema.table(table)
+        columns = ", ".join(quote_identifier(c) for c in table_schema.column_names)
+        cursor = self.connection.execute(
+            f"SELECT {columns} FROM {quote_identifier(table)} ORDER BY rowid"
+        )
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def row_count(self, table: str) -> int:
+        if self.connection is None:
+            raise DuckDBBackendError("begin() was not called")
+        cursor = self.connection.execute(
+            f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+        )
+        return int(cursor.fetchone()[0])
+
+
+# --------------------------------------------------------------------------- #
+# Read-side verification hooks
+# --------------------------------------------------------------------------- #
+
+
+def read_table_rows(path: str, schema: DatabaseSchema) -> Dict[str, List[Row]]:
+    """Read a finished DuckDB target back for verification, read-only.
+
+    Mirrors the SQLite hook: tables missing from the file are omitted from
+    the result (the verifier reports them as failures); a missing or
+    unopenable database raises :class:`DuckDBBackendError`.
+    """
+    _require_duckdb()
+    import os
+
+    if path != ":memory:" and not os.path.exists(path):
+        raise DuckDBBackendError(f"duckdb target not found: {path}")
+    try:
+        connection = _duckdb.connect(path, read_only=True)
+    except Exception as error:
+        raise DuckDBBackendError(
+            f"cannot open duckdb target {path}: {error}"
+        ) from error
+    rows: Dict[str, List[Row]] = {}
+    try:
+        for table_schema in schema.tables:
+            columns = ", ".join(
+                quote_identifier(c) for c in table_schema.column_names
+            )
+            try:
+                cursor = connection.execute(
+                    f"SELECT {columns} FROM {quote_identifier(table_schema.name)} "
+                    f"ORDER BY rowid"
+                )
+                rows[table_schema.name] = [tuple(row) for row in cursor.fetchall()]
+            except Exception as error:
+                message = str(error).lower()
+                if "does not exist" in message or "not found" in message:
+                    continue  # genuinely absent: the verifier reports it
+                raise DuckDBBackendError(
+                    f"cannot read table {table_schema.name!r} of {path}: {error}"
+                ) from error
+    finally:
+        connection.close()
+    return rows
+
+
+def read_index_names(path: str) -> List[str]:
+    """Names of the user-created indexes in a finished DuckDB target."""
+    _require_duckdb()
+    import os
+
+    if path != ":memory:" and not os.path.exists(path):
+        raise DuckDBBackendError(f"duckdb target not found: {path}")
+    try:
+        connection = _duckdb.connect(path, read_only=True)
+    except Exception as error:
+        raise DuckDBBackendError(
+            f"cannot open duckdb target {path}: {error}"
+        ) from error
+    try:
+        cursor = connection.execute(
+            "SELECT index_name FROM duckdb_indexes() ORDER BY index_name"
+        )
+        return [str(row[0]) for row in cursor.fetchall()]
+    except Exception as error:
+        raise DuckDBBackendError(
+            f"cannot read index list of {path}: {error}"
+        ) from error
+    finally:
+        connection.close()

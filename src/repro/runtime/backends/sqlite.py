@@ -32,7 +32,11 @@ import sqlite3
 import time
 from typing import Dict, Iterable, List, Optional
 
-from ...codegen.sql_gen import create_schema_statements, quote_identifier
+from ...codegen.sql_gen import (
+    create_index_statements,
+    create_schema_statements,
+    quote_identifier,
+)
 from ...hdt.node import Scalar
 from ...relational.database import Database
 from ...relational.schema import DatabaseSchema
@@ -73,6 +77,10 @@ class SQLiteBackend(ExecutionBackend):
     retry_policy:
         Retry schedule for locked/busy insert batches (defaults to 4
         attempts with short exponential backoff).
+    apply_indexes:
+        When true (default), :meth:`finalize` builds the secondary indexes
+        on foreign-key columns (``create_index_statements``) after the bulk
+        load commits — load bare tables fast, index once.
     """
 
     def __init__(
@@ -83,12 +91,14 @@ class SQLiteBackend(ExecutionBackend):
         enforce_foreign_keys: bool = True,
         busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
         retry_policy: Optional[RetryPolicy] = None,
+        apply_indexes: bool = True,
     ) -> None:
         self.path = path
         self.batch_size = max(1, batch_size)
         self.enforce_foreign_keys = enforce_foreign_keys
         self.busy_timeout_ms = max(0, int(busy_timeout_ms))
         self.retry_policy = retry_policy if retry_policy is not None else _INSERT_RETRY_POLICY
+        self.apply_indexes = apply_indexes
         self.connection: Optional[sqlite3.Connection] = None
         self._insert_sql: Dict[str, str] = {}
         self._schema: Optional[DatabaseSchema] = None
@@ -193,6 +203,16 @@ class SQLiteBackend(ExecutionBackend):
             self.connection.commit()
         except sqlite3.Error as error:
             raise SQLiteBackendError(f"commit failed: {error}") from error
+        if self.apply_indexes and self._schema is not None:
+            # Post-commit the driver is in autocommit mode (isolation_level
+            # is None), so each CREATE INDEX commits as it completes.
+            try:
+                for statement in create_index_statements(self._schema):
+                    self.connection.execute(statement)
+            except sqlite3.Error as error:
+                raise SQLiteBackendError(
+                    f"failed to build secondary indexes: {error}"
+                ) from error
         if self.path != ":memory:":
             # Fold the write-ahead log back into the main file so the
             # finished .db is self-contained and byte-stable.
@@ -279,6 +299,35 @@ def read_table_rows(path: str, schema: DatabaseSchema) -> Dict[str, List[Row]]:
     finally:
         connection.close()
     return rows
+
+
+def read_index_names(path: str) -> List[str]:
+    """Names of the user-created indexes in a finished SQLite target.
+
+    Read-only, like :func:`read_table_rows`.  Auto-indexes SQLite creates
+    for PRIMARY KEY/UNIQUE constraints (``sqlite_autoindex_*``) are
+    excluded; the verifier compares the result against
+    ``expected_index_names(schema)``.
+    """
+    if not os.path.exists(path):
+        raise SQLiteBackendError(f"sqlite target not found: {path}")
+    try:
+        connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    except sqlite3.Error as error:
+        raise SQLiteBackendError(f"cannot open sqlite target {path}: {error}") from error
+    try:
+        connection.execute(f"PRAGMA busy_timeout = {DEFAULT_BUSY_TIMEOUT_MS}")
+        cursor = connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index' "
+            "AND name NOT LIKE 'sqlite_autoindex_%' ORDER BY name"
+        )
+        return [str(row[0]) for row in cursor.fetchall()]
+    except sqlite3.Error as error:
+        raise SQLiteBackendError(
+            f"cannot read index list of {path}: {error}"
+        ) from error
+    finally:
+        connection.close()
 
 
 # --------------------------------------------------------------------------- #

@@ -69,6 +69,8 @@ from .backends import (
     OUTPUT_KIND,
     ColumnarBackend,
     ColumnarBackendError,
+    DuckDBBackend,
+    DuckDBBackendError,
     ExecutionBackend,
     MemoryBackend,
     SQLiteBackend,
@@ -86,7 +88,12 @@ from .sharded import ShardDegradedError, ShardError, TreeSource, shard_execute
 from .sharded import shard_source as make_shard_source
 from .supervisor import RetryPolicy
 from .transport import SocketTransport, TransportError
-from .verify import VerificationError, read_target_rows, verify_rows
+from .verify import (
+    VerificationError,
+    read_target_indexes,
+    read_target_rows,
+    verify_rows,
+)
 from .streaming import (
     DEFAULT_CHUNK_SIZE,
     iter_json_chunks,
@@ -496,7 +503,7 @@ def _make_backend(args, spec: Spec) -> Tuple[ExecutionBackend, Optional[str], bo
     if output_kind is None and output is not None:
         raise CLIError(
             "the memory backend produces no output artifact — drop "
-            '--output / spec "output", or pick --backend sqlite/columnar'
+            '--output / spec "output", or pick --backend sqlite/columnar/duckdb'
         )
     if output_kind is not None and output is None:
         noun = "database path" if output_kind == "file" else "directory"
@@ -512,7 +519,7 @@ def _make_backend(args, spec: Spec) -> Tuple[ExecutionBackend, Optional[str], bo
         owns_output = not os.path.exists(output)
     try:
         return create_backend(backend_name, output, **options), output, owns_output
-    except (ValueError, ColumnarBackendError) as error:
+    except (ValueError, ColumnarBackendError, DuckDBBackendError) as error:
         raise CLIError(str(error))
 
 
@@ -539,10 +546,10 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
         args.force = True
     backend, output, owns_output = _make_backend(args, spec)
     sql_dump = None if dry_run else (args.sql_dump or spec.get("sql_dump"))
-    if sql_dump and isinstance(backend, ColumnarBackend):
+    if sql_dump and isinstance(backend, (ColumnarBackend, DuckDBBackend)):
         raise CLIError(
             "--sql-dump only applies to the memory and sqlite backends "
-            "(columnar output is not a SQL database)"
+            f"(got --backend {'columnar' if isinstance(backend, ColumnarBackend) else 'duckdb'})"
         )
     chunk_size = (
         args.chunk_size
@@ -633,11 +640,14 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
         # drop the half-filled columnar output so a retry is not blocked.
         # A directory we did not create is preserved — only the files this
         # run would have written inside it are removed.
-        if isinstance(backend, SQLiteBackend):
+        if isinstance(backend, (SQLiteBackend, DuckDBBackend)):
             backend.close()
             if output and os.path.exists(output):
                 os.remove(output)
+            if output and os.path.exists(output + ".wal"):
+                os.remove(output + ".wal")  # duckdb write-ahead log sibling
         elif isinstance(backend, ColumnarBackend) and output:
+            backend.close()  # abort: seal/remove this run's partial files
             if owns_output:
                 shutil.rmtree(output, ignore_errors=True)
             elif os.path.isdir(output):
@@ -652,6 +662,8 @@ def _execute(args, spec: Spec, plan: MigrationPlan) -> Tuple[ExecutionReport, Op
         if sql_dump:
             with open(spec.resolve(sql_dump), "w", encoding="utf-8") as handle:
                 handle.write(backend.dump())
+        backend.close()
+    elif isinstance(backend, DuckDBBackend):
         backend.close()
     elif isinstance(backend, MemoryBackend):
         if sql_dump and backend.database is not None:
@@ -817,7 +829,10 @@ def _cmd_verify(args) -> int:
         execute_plan(plan, spec.full_document(), counting)
         expected = dict(counting.counts)
     rows = read_target_rows(backend_name, output, plan.schema)
-    report = verify_rows(plan.schema, rows, expected)
+    # SQL targets also prove their secondary FK indexes exist; backends
+    # without SQL indexes (columnar) return None and skip the check.
+    index_names = read_target_indexes(backend_name, output)
+    report = verify_rows(plan.schema, rows, expected, index_names=index_names)
     print(report.describe())
     if args.report_json:
         resolved = spec.resolve(args.report_json)
@@ -1108,6 +1123,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         IntegrityError,
         SQLiteBackendError,
         ColumnarBackendError,
+        DuckDBBackendError,
         ShardError,
         FaultError,
         TransportError,

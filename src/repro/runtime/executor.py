@@ -165,6 +165,7 @@ _BACKEND_CLASS_NAMES = {
     "MemoryBackend": "memory",
     "SQLiteBackend": "sqlite",
     "ColumnarBackend": "columnar",
+    "DuckDBBackend": "duckdb",
     "NullBackend": "null",
 }
 

@@ -41,7 +41,7 @@ from ..plan_cache import PlanCache, spec_fingerprint
 from ..sharded import ShardDegradedError, shard_execute
 from ..streaming import DEFAULT_CHUNK_SIZE, stream_execute
 from ..supervisor import RetryPolicy
-from ..verify import read_target_rows, verify_rows
+from ..verify import read_target_indexes, read_target_rows, verify_rows
 from .checkpoint import ShardCheckpoint
 from .jobs import TERMINAL_STATES, Job, JobError, JobStore
 
@@ -461,7 +461,10 @@ class JobRunner:
         if not backend_name:
             raise JobError('verify needs a "backend" (and its "output" target)')
         rows = read_target_rows(backend_name, output, plan.schema)
-        report = verify_rows(plan.schema, rows, expected)
+        # SQL targets also prove their secondary FK indexes exist; backends
+        # without SQL indexes return None and skip the check.
+        index_names = read_target_indexes(backend_name, output)
+        report = verify_rows(plan.schema, rows, expected, index_names=index_names)
         if not report.passed:
             # A failed verification is a *finding*, not a crashed job — the
             # job succeeds and the report carries the verdict — but surface

@@ -967,18 +967,31 @@ def shard_execute(
             # Reduce: replay spills in shard order through the cross-shard
             # merger, streaming batch by batch into the backend.
             backend.begin(plan.schema)
-            merger = ChunkMerger(plan.schema)
-            for spec in specs:
-                replay = iter_spill(
-                    _spill_path(directory, spec.index),
-                    plan_fingerprint=fingerprint,
-                    shard_index=spec.index,
-                )
-                for table, rows in replay:
-                    report.per_table_rows[table] += backend.insert_rows(
-                        table, merger.iter_merge(table, rows)
+            try:
+                merger = ChunkMerger(plan.schema)
+                for spec in specs:
+                    replay = iter_spill(
+                        _spill_path(directory, spec.index),
+                        plan_fingerprint=fingerprint,
+                        shard_index=spec.index,
                     )
-            backend.finalize()
+                    for table, rows in replay:
+                        report.per_table_rows[table] += backend.insert_rows(
+                            table, merger.iter_merge(table, rows)
+                        )
+                backend.finalize()
+            except BaseException:
+                # A reduce-stage failure aborts the backend: close() before
+                # finalize() lets it release resources and scrub partial
+                # output (the streaming columnar backend removes its
+                # half-written batch files and never leaves a manifest
+                # pointing at unreadable data).  close() is idempotent, so
+                # callers that also clean up are unaffected.
+                try:
+                    backend.close()
+                except Exception:
+                    pass
+                raise
     finally:
         if own_spill_dir:
             shutil.rmtree(directory, ignore_errors=True)

@@ -17,10 +17,15 @@ check, per table,
 * **foreign-key integrity** — every non-null foreign-key value resolves to
   an existing key of its target table *in the target itself* (so a
   deliberately corrupted or truncated artifact is detected even when its
-  counts happen to match).
+  counts happen to match);
+* **index presence** (SQL targets) — the secondary FK indexes the DDL
+  generator emits (:func:`repro.codegen.sql_gen.expected_index_names`)
+  actually exist in the finished database, so a "ready to serve" target is
+  not silently missing its join indexes.
 
-Verification never writes: the SQLite hook opens the database read-only,
-the columnar hook reads files, the memory backend is checked in process.
+Verification never writes: the SQLite and DuckDB hooks open the database
+read-only, the columnar hook reads files, the memory backend is checked in
+process.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..codegen.sql_gen import expected_index_names
 from ..relational.schema import DatabaseSchema
 from .backends.base import ExecutionBackend, Row
 from .supervisor import RetryPolicy
@@ -105,6 +111,8 @@ def verify_rows(
     schema: DatabaseSchema,
     rows_by_table: Dict[str, Sequence[Row]],
     expected_counts: Optional[Dict[str, int]] = None,
+    *,
+    index_names: Optional[Sequence[str]] = None,
 ) -> VerificationReport:
     """Check row-count, primary-key and foreign-key invariants.
 
@@ -113,6 +121,11 @@ def verify_rows(
     ``expected_counts`` (when given) adds the row-count comparison.
     Natural-key tables are checked like surrogate-key ones — their keys are
     source data, but uniqueness and resolvability must hold all the same.
+
+    ``index_names`` (when given — SQL targets; see
+    :func:`read_target_indexes`) adds the index-presence check: every
+    secondary FK index the DDL generator emits for the schema must appear
+    in the list, and a missing one fails its table.
     """
     key_values: Dict[str, Dict[str, set]] = {}
     checks: List[TableCheck] = []
@@ -194,6 +207,16 @@ def verify_rows(
                     f"{fk.target_column} dangles in {dangling} row(s)"
                 )
         checks.append(check)
+    if index_names is not None:
+        present = set(index_names)
+        expected = expected_index_names(schema)
+        by_table = {check.table: check for check in checks}
+        for table_name, names in expected.items():
+            for name in names:
+                if name not in present:
+                    by_table[table_name].problems.append(
+                        f"secondary index {name!r} is missing from the target"
+                    )
     return VerificationReport(tables=checks)
 
 
@@ -206,7 +229,8 @@ def read_target_rows(
 ) -> Dict[str, List[Row]]:
     """Read a finished target back through its backend's read-side hook.
 
-    ``backend_name`` is the registry name (``sqlite`` / ``columnar``);
+    ``backend_name`` is the registry name (``sqlite`` / ``columnar`` /
+    ``duckdb``);
     ``output`` is the artifact path.  The memory backend has no durable
     artifact — verify it in process with :func:`verify_backend`.
 
@@ -238,6 +262,12 @@ def _read_target_rows_once(
         from .backends.sqlite import read_table_rows
 
         return read_table_rows(output, schema)
+    if backend_name == "duckdb":
+        if output is None:
+            raise VerificationError("verifying a duckdb target needs its file path")
+        from .backends.duckdb import read_table_rows
+
+        return read_table_rows(output, schema)
     if backend_name == "columnar":
         if output is None:
             raise VerificationError("verifying a columnar target needs its directory")
@@ -250,6 +280,31 @@ def _read_target_rows_once(
             "(verify_backend) or re-run with --backend sqlite/columnar"
         )
     raise VerificationError(f"unknown backend {backend_name!r}")
+
+
+def read_target_indexes(
+    backend_name: str, output: Optional[str]
+) -> Optional[List[str]]:
+    """The index names present in a finished SQL target, read-only.
+
+    Returns ``None`` for backends without SQL indexes (memory, columnar) —
+    the caller skips the index-presence check; for ``sqlite``/``duckdb``
+    targets it returns the user-created index names, ready to pass to
+    :func:`verify_rows` as ``index_names``.
+    """
+    if backend_name == "sqlite":
+        if output is None:
+            raise VerificationError("verifying a sqlite target needs its file path")
+        from .backends.sqlite import read_index_names
+
+        return read_index_names(output)
+    if backend_name == "duckdb":
+        if output is None:
+            raise VerificationError("verifying a duckdb target needs its file path")
+        from .backends.duckdb import read_index_names
+
+        return read_index_names(output)
+    return None
 
 
 def verify_backend(

@@ -8,9 +8,11 @@ import pytest
 from repro.datasets import dblp
 from repro.runtime import MemoryBackend, MigrationPlan, execute_plan
 from repro.runtime.backends import (
+    HAVE_DUCKDB,
     HAVE_PYARROW,
     ColumnarBackend,
     ColumnarBackendError,
+    DuckDBBackendError,
     available_backends,
     create_backend,
     load_table_rows,
@@ -134,12 +136,156 @@ def test_arrow_family_roundtrip(tmp_path, fmt):  # pragma: no cover - needs pyar
 
 
 # --------------------------------------------------------------------------- #
+# Streamed batches (spill=True) vs materialize-at-finalize (spill=False)
+# --------------------------------------------------------------------------- #
+
+
+def _write_rows(directory, rows, *, spill, batch_size=4, dictionary="auto"):
+    backend = ColumnarBackend(
+        str(directory),
+        batch_size=batch_size,
+        file_format="json",
+        spill=spill,
+        dictionary=dictionary,
+    )
+    backend.begin(_simple_schema())
+    backend.insert_rows("t", rows)
+    backend.finalize()
+    return backend
+
+
+def test_spill_and_materialize_bytes_identical(tmp_path):
+    # Both modes route batches through the same writers, so the files (and
+    # the manifest) are byte-for-byte identical — only peak memory differs.
+    rows = [("v%d" % (i % 2), i) for i in range(11)]
+    _write_rows(tmp_path / "spill", rows, spill=True)
+    _write_rows(tmp_path / "mat", rows, spill=False)
+    for name in ("t.columns.json", MANIFEST_NAME):
+        spilled = (tmp_path / "spill" / name).read_bytes()
+        materialized = (tmp_path / "mat" / name).read_bytes()
+        assert spilled == materialized
+    assert load_table_rows(str(tmp_path / "spill"), "t") == rows
+
+
+def test_spill_streams_sealed_batches_out_of_memory(tmp_path):
+    backend = ColumnarBackend(
+        str(tmp_path / "out"), batch_size=2, file_format="json"
+    )
+    backend.begin(_simple_schema())
+    backend.insert_rows("t", [("r%d" % i, i) for i in range(7)])
+    # Sealed batches went straight to the writer — nothing retained.
+    assert backend._buffers["t"].batches == []
+    assert backend.row_count("t") == 7
+    # Mid-run reads of spilled data are a clear error, not silent truncation.
+    with pytest.raises(ColumnarBackendError, match="spilled to disk"):
+        backend.fetch_rows("t")
+    with pytest.raises(ColumnarBackendError, match="streamed to disk"):
+        backend.batches("t")
+    backend.finalize()
+    # After finalize, fetch_rows answers from the finished files.
+    assert backend.fetch_rows("t") == [("r%d" % i, i) for i in range(7)]
+
+
+# --------------------------------------------------------------------------- #
+# Dictionary encoding
+# --------------------------------------------------------------------------- #
+
+
+def test_dictionary_roundtrip_identical_across_modes(tmp_path):
+    # None-heavy, single-distinct and mixed columns must decode row-for-row
+    # identically whether encoded always, never, or by the auto heuristic.
+    rows = (
+        [("only", None)] * 5
+        + [(None, 1), (None, 2), ("only", 3)]
+        + [("x%d" % i, i) for i in range(4)]
+    )
+    decoded = {}
+    for label, dictionary in (("on", True), ("off", False), ("auto", "auto")):
+        directory = tmp_path / label
+        _write_rows(directory, rows, spill=True, dictionary=dictionary)
+        decoded[label] = load_table_rows(str(directory), "t")
+    assert decoded["on"] == decoded["off"] == decoded["auto"] == rows
+    # dictionary=True stores codes; dictionary=False stores plain lists.
+    assert '"d":' in (tmp_path / "on" / "t.columns.json").read_text()
+    assert '"d":' not in (tmp_path / "off" / "t.columns.json").read_text()
+
+
+def test_dictionary_auto_heuristic():
+    from repro.runtime.backends.columnar import _should_dict_encode
+
+    assert _should_dict_encode(["a"] * 8, "auto")  # single distinct value
+    assert _should_dict_encode(["a", "a", "b", "b"], "auto")  # half distinct
+    assert not _should_dict_encode(["a", "b", "c"], "auto")  # all distinct
+    assert not _should_dict_encode([], "auto")
+    assert _should_dict_encode(["a", "b", "c"], True)
+    assert not _should_dict_encode(["a"] * 8, False)
+
+
+def test_dictionary_mode_validated():
+    with pytest.raises(ColumnarBackendError, match="dictionary"):
+        ColumnarBackend(dictionary="sometimes")
+
+
+# --------------------------------------------------------------------------- #
+# Abort cleanup: close() before finalize() scrubs partial output
+# --------------------------------------------------------------------------- #
+
+
+def test_abort_removes_partial_files(tmp_path):
+    from repro.runtime.backends.columnar import read_table_rows
+
+    out = tmp_path / "out"
+    backend = ColumnarBackend(str(out), batch_size=2, file_format="json")
+    backend.begin(_simple_schema())
+    backend.insert_rows("t", [("a", 1), ("b", 2), ("c", 3)])  # seals a batch
+    backend.close()  # abort: no finalize happened
+    assert os.listdir(out) == []  # no partial table file, no manifest
+    with pytest.raises(ColumnarBackendError, match="cannot read"):
+        read_table_rows(str(out), _simple_schema())
+    backend.close()  # idempotent
+
+
+def test_close_after_finalize_keeps_output(tmp_path):
+    out = tmp_path / "out"
+    backend = _write_rows(out, [("a", 1)], spill=True)
+    backend.close()
+    assert load_table_rows(str(out), "t") == [("a", 1)]
+
+
+def test_sharded_reduce_failure_leaves_clean_directory(tmp_path, monkeypatch):
+    """A reduce-stage crash (truncate_spill-style: the replayed stream dies
+    mid-batch) must abort the streaming columnar backend — the output
+    directory ends up empty instead of holding a manifest that points at
+    unreadable half-written batch files."""
+    import repro.runtime.sharded as sharded_module
+    from repro.runtime.backends.columnar import read_table_rows
+    from repro.runtime.sharded import ShardError, shard_execute
+
+    real_iter_spill = sharded_module.iter_spill
+
+    def dying_replay(path, **kwargs):
+        iterator = real_iter_spill(path, **kwargs)
+        yield next(iterator)
+        raise ShardError("spill truncated mid-replay (injected)")
+
+    monkeypatch.setattr(sharded_module, "iter_spill", dying_replay)
+    plan = MigrationPlan.learn(dblp.dataset(scale=3).migration_spec())
+    out = tmp_path / "columnar"
+    backend = ColumnarBackend(str(out), batch_size=4, file_format="json")
+    with pytest.raises(ShardError, match="injected"):
+        shard_execute(plan, dblp.dataset(scale=3).generate(6), backend, shards=2, workers=1)
+    assert os.listdir(out) == []
+    with pytest.raises(ColumnarBackendError, match="cannot read"):
+        read_table_rows(str(out), plan.schema)
+
+
+# --------------------------------------------------------------------------- #
 # The registry
 # --------------------------------------------------------------------------- #
 
 
 def test_registry_names_and_dispatch(tmp_path):
-    assert available_backends() == ("memory", "sqlite", "columnar")
+    assert available_backends() == ("memory", "sqlite", "columnar", "duckdb")
     assert type(create_backend("memory")).__name__ == "MemoryBackend"
     sqlite = create_backend("sqlite", str(tmp_path / "x.db"))
     assert type(sqlite).__name__ == "SQLiteBackend"
@@ -150,8 +296,19 @@ def test_registry_names_and_dispatch(tmp_path):
 
 def test_registry_rejects_bad_combinations(tmp_path):
     with pytest.raises(ValueError, match="unknown backend"):
-        create_backend("duckdb")
+        create_backend("orc")
     with pytest.raises(ValueError, match="no output path"):
         create_backend("memory", str(tmp_path / "x"))
     with pytest.raises(ValueError, match="needs an output path"):
         create_backend("sqlite")
+    with pytest.raises(ValueError, match="needs an output path"):
+        create_backend("duckdb")
+
+
+def test_duckdb_registered_but_guarded(tmp_path):
+    # duckdb is always a *recognized* name; without the library installed,
+    # construction fails with a pointer at the extra instead of "unknown".
+    assert "duckdb" in available_backends()
+    if not HAVE_DUCKDB:
+        with pytest.raises(DuckDBBackendError, match="pip install repro\\[duckdb\\]"):
+            create_backend("duckdb", str(tmp_path / "x.duckdb"))

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Analytics-tier smoke: sharded migrate into an analytics target, verify, SQL parity.
+
+The ``analytics-smoke`` CI job's end-to-end guard for the DuckDB tier
+(docs/backends.md).  For each available SQL engine — sqlite always, duckdb
+when the package is installed (the CI job installs it; locally the duckdb
+leg is reported as skipped) — the script:
+
+1. runs a **sharded** ``repro migrate --backend <engine> --shards 2`` via
+   the real CLI into a fresh target, capturing ``--report-json``;
+2. runs ``repro verify`` against the target with ``--expect-report`` — this
+   now includes the index-presence check, so a backend that stopped
+   building the FK indexes fails here;
+3. asserts every index name from ``expected_index_names`` is present in the
+   target (``sqlite_master`` / ``duckdb_indexes()``);
+4. runs the pinned SQL parity battery against an in-process memory
+   ground-truth execution of the same document: per-table ``COUNT(*)``,
+   per-FK join cardinality, zero dangling FK values, and a pinned
+   ``GROUP BY`` aggregate over the first FK column.
+
+Exit 0 only if every leg passes.  Usage::
+
+    PYTHONPATH=src python tools/analytics_smoke.py [--scale N]
+"""
+
+import argparse
+import collections
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.codegen import expected_index_names  # noqa: E402
+from repro.datasets import dblp  # noqa: E402
+from repro.runtime import MemoryBackend, MigrationPlan, execute_plan  # noqa: E402
+from repro.runtime.backends import HAVE_DUCKDB  # noqa: E402
+from repro.runtime.verify import read_target_indexes  # noqa: E402
+
+LIMIT_SECONDS = 240.0
+
+
+def _cli(arguments, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+    if result.returncode != 0:
+        print(f"CLI FAILED: repro {' '.join(arguments)}")
+        sys.stdout.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        raise SystemExit(1)
+    return result.stdout
+
+
+def _connect(engine, path):
+    if engine == "duckdb":
+        import duckdb
+
+        return duckdb.connect(path, read_only=True)
+    connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    return connection
+
+
+def _one(connection, sql):
+    cursor = connection.execute(sql)
+    return cursor.fetchone()[0]
+
+
+def _parity_battery(connection, schema, rows_by_table):
+    """Pinned SQL battery vs the in-process memory ground truth."""
+    failures = []
+    pinned_done = False
+    for table in schema.tables:
+        rows = rows_by_table[table.name]
+        count = _one(connection, f'SELECT COUNT(*) FROM "{table.name}"')
+        if count != len(rows):
+            failures.append(f"{table.name}: COUNT(*) {count} != {len(rows)}")
+        for fk in table.foreign_keys:
+            col = table.column_names.index(fk.column)
+            joined = _one(
+                connection,
+                f'SELECT COUNT(*) FROM "{table.name}" c '
+                f'JOIN "{fk.target_table}" p ON c."{fk.column}" = p."{fk.target_column}"',
+            )
+            truth = sum(1 for r in rows if r[col] is not None)
+            if joined != truth:
+                failures.append(
+                    f"{table.name} JOIN {fk.target_table}: {joined} != {truth}"
+                )
+            dangling = _one(
+                connection,
+                f'SELECT COUNT(*) FROM "{table.name}" c '
+                f'LEFT JOIN "{fk.target_table}" p '
+                f'ON c."{fk.column}" = p."{fk.target_column}" '
+                f'WHERE c."{fk.column}" IS NOT NULL AND p."{fk.target_column}" IS NULL',
+            )
+            if dangling:
+                failures.append(f"{table.name}.{fk.column}: {dangling} dangling FK(s)")
+            if not pinned_done:
+                # The pinned aggregate: group the first FK column of the first
+                # FK-bearing table in schema order — stable across runs because
+                # the synthetic dataset and the learned plan are deterministic.
+                grouped = connection.execute(
+                    f'SELECT "{fk.column}", COUNT(*) FROM "{table.name}" '
+                    f'WHERE "{fk.column}" IS NOT NULL GROUP BY "{fk.column}" '
+                    f'ORDER BY "{fk.column}"'
+                ).fetchall()
+                truth_groups = sorted(
+                    collections.Counter(
+                        r[col] for r in rows if r[col] is not None
+                    ).items()
+                )
+                if [tuple(g) for g in grouped] != truth_groups:
+                    failures.append(
+                        f"pinned GROUP BY {table.name}.{fk.column} diverged"
+                    )
+                pinned_done = True
+    return failures
+
+
+def _run_engine(engine, scale, spec_path, rows_by_table, schema, workdir):
+    suffix = "duckdb" if engine == "duckdb" else "db"
+    target = os.path.join(workdir, f"out-{engine}.{suffix}")
+    report = os.path.join(workdir, f"report-{engine}.json")
+    cache = os.path.join(workdir, "cache")
+    _cli(
+        [
+            "migrate",
+            "--spec", spec_path,
+            "--backend", engine,
+            "--output", target,
+            "--shards", "2",
+            "--force",
+            "--cache-dir", cache,
+            "--report-json", report,
+        ],
+        workdir,
+    )
+    with open(report, "r", encoding="utf-8") as handle:
+        total = json.load(handle)["total_rows"]
+    expected_total = sum(len(rows) for rows in rows_by_table.values())
+    if total != expected_total:
+        print(f"FAIL({engine}): report total_rows {total} != {expected_total}")
+        return False
+    _cli(
+        [
+            "verify",
+            "--spec", spec_path,
+            "--backend", engine,
+            "--output", target,
+            "--expect-report", report,
+            "--cache-dir", cache,
+        ],
+        workdir,
+    )
+    present = set(read_target_indexes(engine, target) or [])
+    expected = {n for names in expected_index_names(schema).values() for n in names}
+    if not expected <= present:
+        print(f"FAIL({engine}): missing secondary indexes {sorted(expected - present)}")
+        return False
+    connection = _connect(engine, target)
+    try:
+        failures = _parity_battery(connection, schema, rows_by_table)
+    finally:
+        connection.close()
+    if failures:
+        print(f"FAIL({engine}): SQL parity battery diverged:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return False
+    print(
+        f"  {engine}: sharded migrate + verify + {len(expected)} indexes + "
+        f"SQL parity ok ({total} rows)"
+    )
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=150)
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    engines = ["sqlite"] + (["duckdb"] if HAVE_DUCKDB else [])
+    print(f"analytics smoke: scale {args.scale}, engines: {', '.join(engines)}")
+    if not HAVE_DUCKDB:
+        print("  duckdb leg: skipped (package not installed)")
+
+    bundle = dblp.dataset(scale=args.scale)
+    plan = MigrationPlan.learn(bundle.migration_spec())
+    whole = execute_plan(plan, bundle.generate(args.scale), MemoryBackend())
+    rows_by_table = {
+        t: whole.backend.fetch_rows(t) for t in plan.schema.table_names
+    }
+
+    with tempfile.TemporaryDirectory(prefix="analytics-smoke-") as workdir:
+        spec_path = os.path.join(workdir, "spec.json")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump({"dataset": "dblp", "scale": args.scale}, handle)
+        ok = all(
+            _run_engine(
+                engine, args.scale, spec_path, rows_by_table, plan.schema, workdir
+            )
+            for engine in engines
+        )
+    elapsed = time.perf_counter() - start
+    if not ok:
+        return 1
+    if elapsed >= LIMIT_SECONDS:
+        print(f"FAIL: analytics smoke took {elapsed:.1f}s (limit {LIMIT_SECONDS:.0f}s)")
+        return 1
+    print(f"analytics smoke ok: {len(engines)} engine(s) in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,9 @@ REQUIRED_ANCHORS = {
     "docs/backends.md": [
         "the-backend-protocol",
         "the-shipped-backends",
+        "the-duckdb-analytics-backend",
+        "streamed-record-batches-and-dictionary-encoding",
+        "index-ddl-and-the-index-presence-check",
         "shardreduce-dataflow",
         "cross-shard-key-reconciliation",
         "choosing-a-backend",
